@@ -1,0 +1,32 @@
+//! Ablation: espresso with and without the REDUCE phase.
+use criterion::{criterion_group, criterion_main, Criterion};
+use synthir_core::random::random_table;
+use synthir_logic::espresso::{minimize, EspressoOptions};
+use synthir_logic::{Cover, TruthTable};
+
+fn bench(c: &mut Criterion) {
+    let words = random_table(256, 1, 3);
+    let tt = TruthTable::from_fn(8, |m| words[m] & 1 != 0);
+    let on = Cover::from_truth_table(&tt);
+    let mut g = c.benchmark_group("ablate_minimize");
+    g.sample_size(20);
+    g.bench_function("espresso_full", |b| {
+        b.iter(|| minimize(&on, None, &EspressoOptions::default()))
+    });
+    g.bench_function("espresso_no_reduce", |b| {
+        b.iter(|| {
+            minimize(
+                &on,
+                None,
+                &EspressoOptions {
+                    reduce: false,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

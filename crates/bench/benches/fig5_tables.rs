@@ -1,0 +1,15 @@
+//! Criterion bench for the Fig. 5 experiment (one representative cell).
+use criterion::{criterion_group, criterion_main, Criterion};
+use synthir_bench::fig5;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("table_vs_sop_d64_w4", |b| {
+        b.iter(|| fig5::sample(64, 4, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for the Fig. 6 experiment.
+use criterion::{criterion_group, criterion_main, Criterion};
+use synthir_bench::fig6::{sample, Fig6Series};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("fsm_m2_n8_s17_regular", |b| {
+        b.iter(|| sample(2, 8, 17, 0, Fig6Series::Regular))
+    });
+    g.bench_function("fsm_m2_n8_s17_annotated", |b| {
+        b.iter(|| sample(2, 8, 17, 0, Fig6Series::StateAnnotated))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for the Fig. 8 experiment.
+use criterion::{criterion_group, criterion_main, Criterion};
+use synthir_bench::fig8::{sample, Fig8Series, FlopVariant};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("n16_sync_regular", |b| {
+        b.iter(|| sample(16, FlopVariant::SyncReset, Fig8Series::Regular))
+    });
+    g.bench_function("n16_sync_annotated", |b| {
+        b.iter(|| sample(16, FlopVariant::SyncReset, Fig8Series::StateAnnotated))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

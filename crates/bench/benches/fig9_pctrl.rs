@@ -1,0 +1,19 @@
+//! Criterion bench for the Fig. 9 experiment (one flavour per iteration).
+use criterion::{criterion_group, criterion_main, Criterion};
+use smpctrl::{synthesize, Flavor, MemoryConfig};
+use synthir_netlist::Library;
+use synthir_synth::SynthOptions;
+
+fn bench(c: &mut Criterion) {
+    let lib = Library::vt90();
+    let opts = SynthOptions::default();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("pctrl_uncached_auto", |b| {
+        b.iter(|| synthesize(&MemoryConfig::uncached(), Flavor::Auto, &lib, &opts).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

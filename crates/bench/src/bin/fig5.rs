@@ -1,0 +1,14 @@
+//! Regenerates Fig. 5: table-based vs sum-of-products combinational logic.
+use synthir_bench::{fig5, geomean_ratio, to_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let grid = if quick { fig5::quick_grid() } else { fig5::paper_grid() };
+    let samples = if quick { 1 } else { 2 };
+    let pts = fig5::run(&grid, samples);
+    println!("{}", to_csv(&pts, "sop_area_um2", "table_area_um2"));
+    println!("# points: {}", pts.len());
+    println!("# geomean table/sop ratio: {:.3}", geomean_ratio(&pts));
+    println!("# expected shape: points scatter on the equal-area line (ratio ~1),");
+    println!("#   occasionally below 1 for large functions (table start wins).");
+}

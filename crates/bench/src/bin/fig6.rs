@@ -1,0 +1,17 @@
+//! Regenerates Fig. 6: table-based vs case-style FSMs.
+use synthir_bench::{fig6, geomean_ratio, to_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let grid = if quick { fig6::quick_grid() } else { fig6::paper_grid() };
+    let samples = 1; // m=8 cells elaborate 8k-entry tables; one seed keeps the
+                      // full grid to minutes. Raise for tighter statistics.
+    for series in [fig6::Fig6Series::Regular, fig6::Fig6Series::StateAnnotated] {
+        let pts = fig6::run(&grid, samples, series);
+        println!("## series {series:?}");
+        println!("{}", to_csv(&pts, "case_area_um2", "table_area_um2"));
+        println!("# geomean table/case ratio: {:.3}\n", geomean_ratio(&pts));
+    }
+    println!("# expected shape: Regular >= 1 (worst for s in {{3,17}});");
+    println!("#   StateAnnotated ~1 (annotation recovers the direct quality).");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 9: PCtrl Full / Auto / Manual areas.
+use synthir_bench::fig9;
+
+fn main() {
+    let rows = fig9::run();
+    println!("{}", fig9::to_table(&rows));
+    println!("# expected shape: Auto ~ half of Full in both comb and seq;");
+    println!("#   Manual ~ Auto for cached; Manual saves an extra >10% uncached.");
+}

@@ -1,0 +1,107 @@
+//! Annotation derivation.
+//!
+//! The paper's conclusion: "it is fairly straightforward to automatically
+//! determine these state annotations from the FSM tables (or, equivalently,
+//! microcode)" — and modules "will have to convey any specialized
+//! signal-encoding information to other modules". These helpers are that
+//! derivation: FSM metadata and value sets computed *from the tables*, never
+//! hand-written.
+
+use crate::fsm::FsmSpec;
+use crate::microcode::MicroProgram;
+use synthir_logic::ValueSet;
+use synthir_rtl::FsmInfo;
+
+/// Derives `fsm_state_vector`-style metadata from an FSM spec (binary
+/// encoding over declared states).
+pub fn fsm_info_of(spec: &FsmSpec) -> FsmInfo {
+    spec.fsm_info()
+}
+
+/// Derives the value set of the FSM's *output bus* across all reachable
+/// (state, input) pairs — usable to annotate a registered copy of the
+/// outputs in a downstream module.
+pub fn fsm_output_values(spec: &FsmSpec) -> ValueSet {
+    let mut values = std::collections::BTreeSet::new();
+    for s in spec.reachable_states() {
+        for m in 0..1u64 << spec.num_inputs() {
+            let (_, o) = spec.eval(s, m);
+            values.insert(o);
+        }
+    }
+    ValueSet::from_values(spec.num_outputs() as u32, values)
+}
+
+/// Derives per-field value sets from a microprogram: the annotation a
+/// generator attaches to registered field outputs (includes the reset/fill
+/// value zero).
+pub fn field_values(program: &MicroProgram) -> Vec<(String, ValueSet)> {
+    program
+        .field_value_sets()
+        .into_iter()
+        .zip(program.format().fields())
+        .map(|(mut set, f)| {
+            set.insert(0);
+            (
+                f.name.clone(),
+                ValueSet::from_values(f.width as u32, set),
+            )
+        })
+        .collect()
+}
+
+/// Derives the µPC value set (reachable program addresses).
+pub fn upc_values(program: &MicroProgram) -> ValueSet {
+    ValueSet::range(program.upc_bits() as u32, program.instrs().len() as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microcode::{Field, MicrocodeFormat, NextCtl};
+    use crate::random::{random_fsm, random_microprogram};
+
+    #[test]
+    fn fsm_info_has_all_states() {
+        let f = random_fsm(2, 4, 5, 1);
+        let info = fsm_info_of(&f);
+        assert_eq!(info.codes.len(), 5);
+        assert_eq!(info.reset_code, 0);
+        assert_eq!(info.state_reg, "state");
+    }
+
+    #[test]
+    fn output_values_cover_behaviour() {
+        let f = random_fsm(2, 3, 3, 5);
+        let vs = fsm_output_values(&f);
+        // Every observed output must be in the set.
+        for s in f.reachable_states() {
+            for m in 0..4 {
+                let (_, o) = f.eval(s, m);
+                assert!(vs.contains(o));
+            }
+        }
+    }
+
+    #[test]
+    fn field_values_track_program_plus_zero() {
+        let fmt = MicrocodeFormat::new(vec![Field::one_hot("u", 4)]);
+        let mut p = crate::microcode::MicroProgram::new("t", fmt, 0);
+        p.emit(&[("u", 0b0100)], NextCtl::Jump(1));
+        p.emit(&[("u", 0b1000)], NextCtl::Halt);
+        let fv = field_values(&p);
+        assert_eq!(fv.len(), 1);
+        assert_eq!(fv[0].0, "u");
+        assert!(fv[0].1.contains(0b0100));
+        assert!(fv[0].1.contains(0));
+        assert!(!fv[0].1.contains(0b0001));
+    }
+
+    #[test]
+    fn upc_range() {
+        let p = random_microprogram(5, 1, 2);
+        let vs = upc_values(&p);
+        assert!(vs.contains(4));
+        assert!(!vs.contains(5));
+    }
+}

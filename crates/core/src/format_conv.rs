@@ -1,0 +1,184 @@
+//! Horizontal ↔ vertical microcode format conversion.
+//!
+//! "In practice, microcode format varies from being inefficiently encoded
+//! but more readable (known as horizontal microcode) or efficiently encoded
+//! but difficult to read (vertical). Many microprogramming systems employ
+//! horizontal formats to simplify the paths between the controllers and the
+//! datapath units." — the paper, §II-B.
+//!
+//! These converters re-encode one-hot (horizontal) fields into packed
+//! binary (vertical) and back, rewriting both the format and every
+//! microinstruction. Verticalizing shrinks the control store; the cost is
+//! the decoder logic the paper's horizontal formats avoid — which is
+//! exactly the trade the [`crate::sequencer`] experiments can now measure.
+
+use crate::microcode::{Field, FieldEncoding, MicroInstr, MicroProgram, MicrocodeFormat};
+use crate::CoreError;
+
+/// Converts every one-hot field to a packed binary field of
+/// `ceil(log2(lanes + 1))` bits (value 0 = no lane, `i + 1` = lane `i`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSpec`] if an instruction has a non-one-hot value
+/// in a one-hot field.
+pub fn verticalize(p: &MicroProgram) -> Result<MicroProgram, CoreError> {
+    let fields: Vec<Field> = p
+        .format()
+        .fields()
+        .iter()
+        .map(|f| match f.encoding {
+            FieldEncoding::Binary => f.clone(),
+            FieldEncoding::OneHot => Field::binary(f.name.clone(), packed_bits(f.width)),
+        })
+        .collect();
+    let format = MicrocodeFormat::new(fields);
+    let mut out = MicroProgram::new(
+        format!("{}_vertical", p.name()),
+        format,
+        p.num_conds(),
+    );
+    for (addr, i) in p.instrs().iter().enumerate() {
+        let mut values = Vec::with_capacity(i.fields.len());
+        for (f, &v) in p.format().fields().iter().zip(&i.fields) {
+            match f.encoding {
+                FieldEncoding::Binary => values.push(v),
+                FieldEncoding::OneHot => {
+                    if v == 0 {
+                        values.push(0);
+                    } else if v.count_ones() == 1 {
+                        values.push(v.trailing_zeros() as u128 + 1);
+                    } else {
+                        return Err(CoreError::BadSpec(format!(
+                            "instr {addr}: field `{}` not one-hot",
+                            f.name
+                        )));
+                    }
+                }
+            }
+        }
+        out.push(MicroInstr {
+            fields: values,
+            next: i.next,
+        });
+    }
+    Ok(out)
+}
+
+/// Converts packed binary lane-select fields (as produced by
+/// [`verticalize`]) back to one-hot fields of `lanes` lanes.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSpec`] if a value exceeds the lane count.
+pub fn horizontalize(
+    p: &MicroProgram,
+    lanes_of: &dyn Fn(&str) -> Option<usize>,
+) -> Result<MicroProgram, CoreError> {
+    let fields: Vec<Field> = p
+        .format()
+        .fields()
+        .iter()
+        .map(|f| match lanes_of(&f.name) {
+            Some(lanes) => Field::one_hot(f.name.clone(), lanes),
+            None => f.clone(),
+        })
+        .collect();
+    let format = MicrocodeFormat::new(fields);
+    let mut out = MicroProgram::new(
+        format!("{}_horizontal", p.name()),
+        format,
+        p.num_conds(),
+    );
+    for (addr, i) in p.instrs().iter().enumerate() {
+        let mut values = Vec::with_capacity(i.fields.len());
+        for (f, &v) in p.format().fields().iter().zip(&i.fields) {
+            match lanes_of(&f.name) {
+                None => values.push(v),
+                Some(lanes) => {
+                    if v == 0 {
+                        values.push(0);
+                    } else if (v as usize) <= lanes {
+                        values.push(1u128 << (v - 1));
+                    } else {
+                        return Err(CoreError::BadSpec(format!(
+                            "instr {addr}: lane {v} exceeds {lanes} lanes of `{}`",
+                            f.name
+                        )));
+                    }
+                }
+            }
+        }
+        out.push(MicroInstr {
+            fields: values,
+            next: i.next,
+        });
+    }
+    Ok(out)
+}
+
+/// Bits to encode `lanes + 1` values (0 = idle).
+fn packed_bits(lanes: usize) -> usize {
+    let mut b = 1;
+    while (1usize << b) < lanes + 1 {
+        b += 1;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microcode::NextCtl;
+    use crate::random::random_microprogram;
+
+    #[test]
+    fn vertical_is_narrower() {
+        let p = random_microprogram(12, 2, 1);
+        let v = verticalize(&p).unwrap();
+        assert!(v.format().width() < p.format().width());
+        v.validate().unwrap();
+        // The one-hot "unit" field (4 lanes) packs into 3 bits.
+        let unit = v.format().fields()[0].clone();
+        assert_eq!(unit.width, 3);
+        assert_eq!(unit.encoding, FieldEncoding::Binary);
+    }
+
+    #[test]
+    fn round_trip_preserves_program() {
+        let p = random_microprogram(10, 1, 7);
+        let v = verticalize(&p).unwrap();
+        let h = horizontalize(&v, &|name| if name == "unit" { Some(4) } else { None })
+            .unwrap();
+        assert_eq!(h.format().width(), p.format().width());
+        for (a, b) in p.instrs().iter().zip(h.instrs()) {
+            assert_eq!(a.fields, b.fields);
+            assert_eq!(a.next, b.next);
+        }
+    }
+
+    #[test]
+    fn traces_agree_through_conversion() {
+        let p = random_microprogram(8, 2, 3);
+        let v = verticalize(&p).unwrap();
+        let conds = [0u64, 1, 2, 3, 0, 1];
+        let th = p.simulate(&conds, 6);
+        let tv = v.simulate(&conds, 6);
+        for (cycle, (hf, vf)) in th.iter().zip(&tv).enumerate() {
+            // Binary fields identical; one-hot field decodes to same lane.
+            assert_eq!(hf[1], vf[1], "cycle {cycle} imm");
+            let lane_h = if hf[0] == 0 { 0 } else { hf[0].trailing_zeros() as u128 + 1 };
+            assert_eq!(lane_h, vf[0], "cycle {cycle} unit lane");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        use crate::microcode::{Field, MicrocodeFormat};
+        let fmt = MicrocodeFormat::new(vec![Field::binary("u", 3)]);
+        let mut p = MicroProgram::new("t", fmt, 0);
+        p.emit(&[("u", 5)], NextCtl::Halt);
+        let e = horizontalize(&p, &|_| Some(4)).unwrap_err();
+        assert!(e.to_string().contains("exceeds"));
+    }
+}

@@ -1,0 +1,220 @@
+//! FSM state minimization by partition refinement.
+//!
+//! A generator that assembles controllers from reusable fragments routinely
+//! produces behaviourally duplicate states. Merging them *in the IR* —
+//! before any RTL exists — shrinks the tables the synthesis flow has to
+//! partially evaluate, complementing the netlist-level unreachable-state
+//! pruning of `synthir-synth`'s FSM pass. This is the classic
+//! Moore-refinement algorithm on the Mealy machine's (next, output)
+//! signature.
+
+use crate::fsm::{FsmSpec, StateId};
+use synthir_logic::Cube;
+
+/// The result of minimizing an [`FsmSpec`].
+#[derive(Clone, Debug)]
+pub struct Minimized {
+    /// The minimized machine.
+    pub spec: FsmSpec,
+    /// For each original state, the representative it was merged into
+    /// (indexed by original state id).
+    pub class_of: Vec<usize>,
+}
+
+/// Minimizes an FSM: drops states unreachable from reset and merges
+/// behaviourally equivalent states.
+///
+/// Two states are equivalent iff for every input minterm they emit the same
+/// outputs and step to equivalent states. The result preserves the observable
+/// behaviour from the reset state exactly.
+pub fn minimize_fsm(spec: &FsmSpec) -> Minimized {
+    let reachable = spec.reachable_states();
+    let minterms = 1u64 << spec.num_inputs();
+
+    // Initial partition: states with identical output rows.
+    let mut class_of_reachable: Vec<usize> = Vec::with_capacity(reachable.len());
+    {
+        let mut signatures: Vec<Vec<u128>> = Vec::new();
+        for &s in &reachable {
+            let sig: Vec<u128> = (0..minterms).map(|m| spec.eval(s, m).1).collect();
+            match signatures.iter().position(|x| *x == sig) {
+                Some(i) => class_of_reachable.push(i),
+                None => {
+                    signatures.push(sig);
+                    class_of_reachable.push(signatures.len() - 1);
+                }
+            }
+        }
+    }
+
+    // Refine until stable: split classes whose members step to different
+    // classes on some input.
+    loop {
+        let mut new_sigs: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut next_class: Vec<usize> = Vec::with_capacity(reachable.len());
+        let idx_of = |s: StateId, reachable: &[StateId]| {
+            reachable.binary_search(&s).expect("closed under transition")
+        };
+        for (ri, &s) in reachable.iter().enumerate() {
+            let step_sig: Vec<usize> = (0..minterms)
+                .map(|m| class_of_reachable[idx_of(spec.eval(s, m).0, &reachable)])
+                .collect();
+            let key = (class_of_reachable[ri], step_sig);
+            match new_sigs.iter().position(|x| *x == key) {
+                Some(i) => next_class.push(i),
+                None => {
+                    new_sigs.push(key);
+                    next_class.push(new_sigs.len() - 1);
+                }
+            }
+        }
+        let stable = next_class == class_of_reachable;
+        class_of_reachable = next_class;
+        if stable {
+            break;
+        }
+    }
+
+    // Build the minimized machine: one state per class, transitions copied
+    // from each class representative via dense minterm rules.
+    let n_classes = class_of_reachable.iter().max().map(|m| m + 1).unwrap_or(0);
+    let mut mini = FsmSpec::new(
+        format!("{}_min", spec.name()),
+        spec.num_inputs(),
+        spec.num_outputs(),
+    );
+    let mut reps: Vec<StateId> = vec![StateId(usize::MAX); n_classes];
+    for (ri, &s) in reachable.iter().enumerate() {
+        let c = class_of_reachable[ri];
+        if reps[c] == StateId(usize::MAX) {
+            reps[c] = s;
+        }
+    }
+    for c in 0..n_classes {
+        mini.add_state(format!("c{c}_{}", spec.state_name(reps[c])));
+    }
+    let class_of_state = |s: StateId| {
+        let ri = reachable.binary_search(&s).expect("reachable");
+        class_of_reachable[ri]
+    };
+    for (c, &rep) in reps.iter().enumerate() {
+        for m in 0..minterms {
+            let (next, out) = spec.eval(rep, m);
+            mini.add_rule(
+                StateId(c),
+                Cube::minterm(spec.num_inputs(), m),
+                StateId(class_of_state(next)),
+                out,
+            );
+        }
+    }
+    mini.set_reset(StateId(class_of_state(spec.reset_state())));
+
+    // Full-length class map (unreachable states map to their own class 0 by
+    // convention — they no longer exist).
+    let mut class_of = vec![usize::MAX; spec.state_count()];
+    for (ri, &s) in reachable.iter().enumerate() {
+        class_of[s.0] = class_of_reachable[ri];
+    }
+    Minimized {
+        spec: mini,
+        class_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-state machine where two states are behavioural twins.
+    fn with_twins() -> FsmSpec {
+        let mut f = FsmSpec::new("twins", 1, 2);
+        let a = f.add_state("a");
+        let b1 = f.add_state("b1");
+        let b2 = f.add_state("b2");
+        let c = f.add_state("c");
+        let go = Cube::new(1, 1, 1);
+        // a alternates into b1/b2 which behave identically.
+        f.add_rule(a, go, b1, 0b01);
+        f.set_default(a, b2, 0b01);
+        f.add_rule(b1, go, c, 0b10);
+        f.set_default(b1, b1, 0b10);
+        f.add_rule(b2, go, c, 0b10);
+        f.set_default(b2, b2, 0b10);
+        f.add_rule(c, go, a, 0b11);
+        f.set_default(c, c, 0b11);
+        f
+    }
+
+    #[test]
+    fn merges_twin_states() {
+        let f = with_twins();
+        let min = minimize_fsm(&f);
+        assert_eq!(min.spec.state_count(), 3);
+        assert_eq!(min.class_of[1], min.class_of[2], "twins share a class");
+        assert_ne!(min.class_of[0], min.class_of[1]);
+    }
+
+    #[test]
+    fn preserves_behaviour() {
+        let f = with_twins();
+        let min = minimize_fsm(&f).spec;
+        let mut s_orig = f.reset_state();
+        let mut s_min = min.reset_state();
+        let inputs = [1u64, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0];
+        for &i in &inputs {
+            let (n1, o1) = f.eval(s_orig, i);
+            let (n2, o2) = min.eval(s_min, i);
+            assert_eq!(o1, o2, "outputs diverge");
+            s_orig = n1;
+            s_min = n2;
+        }
+    }
+
+    #[test]
+    fn drops_unreachable_states() {
+        let mut f = with_twins();
+        let orphan = f.add_state("orphan");
+        f.set_default(orphan, orphan, 0b11);
+        let min = minimize_fsm(&f);
+        assert_eq!(min.spec.state_count(), 3);
+        assert_eq!(min.class_of[orphan.0], usize::MAX);
+    }
+
+    #[test]
+    fn already_minimal_machines_are_unchanged_in_size() {
+        // A modulo-3 counter has no equivalent states.
+        let mut f = FsmSpec::new("mod3", 1, 2);
+        let s0 = f.add_state("s0");
+        let s1 = f.add_state("s1");
+        let s2 = f.add_state("s2");
+        let tick = Cube::new(1, 1, 1);
+        f.add_rule(s0, tick, s1, 0);
+        f.add_rule(s1, tick, s2, 1);
+        f.add_rule(s2, tick, s0, 2);
+        let min = minimize_fsm(&f);
+        assert_eq!(min.spec.state_count(), 3);
+    }
+
+    #[test]
+    fn random_fsms_never_grow_and_stay_equivalent() {
+        for seed in 0..8u64 {
+            let f = crate::random::random_fsm(2, 3, 6, seed);
+            let min = minimize_fsm(&f);
+            assert!(min.spec.state_count() <= f.state_count());
+            // Lockstep walk.
+            let mut a = f.reset_state();
+            let mut b = min.spec.reset_state();
+            let mut x = seed;
+            for _ in 0..64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let i = x >> 60 & 0b11;
+                let (na, oa) = f.eval(a, i);
+                let (nb, ob) = min.spec.eval(b, i);
+                assert_eq!(oa, ob, "seed {seed}");
+                a = na;
+                b = nb;
+            }
+        }
+    }
+}

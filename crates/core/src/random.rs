@@ -1,0 +1,149 @@
+//! Seeded random design generators — the reproduction of the paper's
+//! "Python scripts then generated random configuration parameters".
+
+use crate::fsm::FsmSpec;
+use crate::microcode::{Field, MicroInstr, MicroProgram, MicrocodeFormat, NextCtl};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random combinational table of `depth` words (`depth` must be a power
+/// of two) and `width` output bits, as swept in the paper's Fig. 5
+/// experiment.
+///
+/// # Panics
+///
+/// Panics if `depth` is not a power of two or `width > 128`.
+pub fn random_table(depth: usize, width: usize, seed: u64) -> Vec<u128> {
+    assert!(depth.is_power_of_two(), "table depth must be a power of two");
+    assert!(width <= 128, "at most 128 output bits");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF155 ^ ((depth as u64) << 32) ^ width as u64);
+    (0..depth).map(|_| random_word(&mut rng, width)).collect()
+}
+
+fn random_word(rng: &mut StdRng, width: usize) -> u128 {
+    let mut v = 0u128;
+    for chunk in 0..width.div_ceil(64) {
+        let bits = (width - chunk * 64).min(64);
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        v |= ((rng.gen::<u64>() & mask) as u128) << (chunk * 64);
+    }
+    v
+}
+
+/// A random `s`-state FSM with `m` input bits and `n` output bits, as swept
+/// in the Fig. 6 experiment. Transitions and outputs are uniform random per
+/// (state, input-minterm); every state is made reachable by forcing state
+/// `i` to step to state `i+1` on the all-ones input.
+///
+/// # Panics
+///
+/// Panics if `m > 12`, `n > 128`, or `s < 2`.
+pub fn random_fsm(m: usize, n: usize, s: usize, seed: u64) -> FsmSpec {
+    assert!(m <= 12, "at most 12 input bits");
+    assert!(n <= 128, "at most 128 output bits");
+    assert!(s >= 2, "at least two states");
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ 0xF16_6 ^ ((m as u64) << 48) ^ ((n as u64) << 32) ^ ((s as u64) << 16),
+    );
+    let minterms = 1usize << m;
+    let next: Vec<Vec<usize>> = (0..s)
+        .map(|si| {
+            (0..minterms)
+                .map(|mm| {
+                    if mm == minterms - 1 {
+                        (si + 1) % s // chain guarantees reachability
+                    } else {
+                        rng.gen_range(0..s)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let out: Vec<Vec<u128>> = (0..s)
+        .map(|_| (0..minterms).map(|_| random_word(&mut rng, n)).collect())
+        .collect();
+    FsmSpec::from_dense(format!("rand_m{m}_n{n}_s{s}"), m, n, &next, &out)
+        .expect("dense tables are well-formed by construction")
+}
+
+/// A random microprogram of `len` instructions over a format with one
+/// one-hot unit-select field and a couple of binary immediate fields; used
+/// by the sequencer experiments and tests.
+pub fn random_microprogram(len: usize, num_conds: usize, seed: u64) -> MicroProgram {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E0 ^ ((len as u64) << 8));
+    let fmt = MicrocodeFormat::new(vec![
+        Field::one_hot("unit", 4),
+        Field::binary("imm", 4),
+        Field::binary("strobe", 1),
+    ]);
+    let mut p = MicroProgram::new(format!("rand_up_{len}"), fmt, num_conds);
+    for a in 0..len {
+        let unit = 1u128 << rng.gen_range(0..4);
+        let imm = rng.gen_range(0..16) as u128;
+        let strobe = rng.gen_range(0..2) as u128;
+        let next = if a == len - 1 {
+            NextCtl::Halt
+        } else {
+            match rng.gen_range(0..4) {
+                0 => NextCtl::Jump(rng.gen_range(0..len)),
+                1 if num_conds > 0 => NextCtl::CondJump {
+                    cond: rng.gen_range(0..num_conds),
+                    target: rng.gen_range(0..len),
+                },
+                _ => NextCtl::Seq,
+            }
+        };
+        p.push(MicroInstr {
+            fields: vec![unit, imm, strobe],
+            next,
+        });
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_deterministic_per_seed() {
+        let a = random_table(64, 16, 7);
+        let b = random_table(64, 16, 7);
+        let c = random_table(64, 16, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().all(|&w| w < 1 << 16));
+    }
+
+    #[test]
+    fn wide_tables_fill_all_bits() {
+        let t = random_table(8, 100, 3);
+        // Some word must have a bit above position 64.
+        assert!(t.iter().any(|&w| w >> 64 != 0));
+        assert!(t.iter().all(|&w| w >> 100 == 0));
+    }
+
+    #[test]
+    fn fsms_are_closed_and_reachable() {
+        for (m, n, s) in [(2, 2, 2), (2, 8, 3), (8, 16, 17)] {
+            let f = random_fsm(m, n, s, 99);
+            assert_eq!(f.state_count(), s);
+            assert_eq!(f.reachable_states().len(), s, "m={m} n={n} s={s}");
+        }
+    }
+
+    #[test]
+    fn microprograms_validate() {
+        for seed in 0..10 {
+            let p = random_microprogram(12, 2, seed);
+            p.validate().unwrap();
+        }
+        let p = random_microprogram(5, 0, 3);
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,381 @@
+//! Lowering microprograms to microcode-sequencer hardware (Fig. 3 of the
+//! paper): µPC, microcode store, condition dispatch, per-field outputs.
+
+use crate::microcode::{MicroProgram, NextCtl};
+use crate::CoreError;
+use synthir_logic::ValueSet;
+use synthir_rtl::{Expr, FsmInfo, Memory, Module, RegReset, Register, ResetKind};
+
+/// Options controlling sequencer generation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequencerOptions {
+    /// Store the microcode in a runtime-writable configuration memory (the
+    /// "Full" flexible design) instead of binding it.
+    pub flexible: bool,
+    /// Register the field outputs (adds a pipeline flop per field bit —
+    /// the flop boundary of the paper's Fig. 8 discussion).
+    pub register_outputs: bool,
+    /// Attach FSM metadata for the µPC (the generator-derived
+    /// `fsm_state_vector` annotation). Only meaningful for bound microcode.
+    pub annotate_fsm: bool,
+    /// Attach value-set annotations on registered field outputs, derived
+    /// from the program contents (the generator-derived state annotation of
+    /// Fig. 8). Requires `register_outputs` and bound microcode.
+    pub annotate_fields: bool,
+}
+
+/// The control-word layout of a generated sequencer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlWordLayout {
+    /// Width of the packed field section.
+    pub fields_width: usize,
+    /// Offset of the 2-bit mode section (00 seq, 01 jump, 10 cond-jump,
+    /// 11 halt).
+    pub mode_offset: usize,
+    /// Offset and width of the condition-select section.
+    pub cond_offset: usize,
+    /// Condition-select width.
+    pub cond_width: usize,
+    /// Offset of the jump-target section.
+    pub target_offset: usize,
+    /// µPC / target width.
+    pub target_width: usize,
+}
+
+impl ControlWordLayout {
+    /// Computes the layout for a program.
+    pub fn for_program(p: &MicroProgram) -> Self {
+        let fields_width = p.format().width();
+        let cond_width = cond_sel_bits(p.num_conds());
+        let target_width = p.upc_bits();
+        ControlWordLayout {
+            fields_width,
+            mode_offset: fields_width,
+            cond_offset: fields_width + 2,
+            cond_width,
+            target_offset: fields_width + 2 + cond_width,
+            target_width,
+        }
+    }
+
+    /// Total control-word width.
+    pub fn width(&self) -> usize {
+        self.target_offset + self.target_width
+    }
+
+    /// Encodes one microinstruction into a control word.
+    pub fn encode(&self, p: &MicroProgram, i: &crate::microcode::MicroInstr) -> u128 {
+        let mut w = p.format().pack(&i.fields);
+        let (mode, cond, target) = match i.next {
+            NextCtl::Seq => (0b00u128, 0usize, 0usize),
+            NextCtl::Jump(t) => (0b01, 0, t),
+            NextCtl::CondJump { cond, target } => (0b10, cond, target),
+            NextCtl::Halt => (0b11, 0, 0),
+        };
+        w |= mode << self.mode_offset;
+        w |= (cond as u128) << self.cond_offset;
+        w |= (target as u128) << self.target_offset;
+        w
+    }
+}
+
+fn cond_sel_bits(num_conds: usize) -> usize {
+    if num_conds <= 1 {
+        return num_conds; // 0 conds: no field; 1 cond: 1 selector bit (fixed 0)
+    }
+    let mut b = 1;
+    while (1usize << b) < num_conds {
+        b += 1;
+    }
+    b
+}
+
+/// Generates the sequencer module for a microprogram.
+///
+/// The module's interface:
+/// * input `cond` (`max(1, num_conds)` bits) — branch conditions,
+/// * one output bus per microcode field (named after the field),
+/// * with [`SequencerOptions::flexible`]: config write port
+///   `cfg_addr`/`cfg_data`/`cfg_wen`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSpec`] if the program fails validation or the
+/// control word exceeds 128 bits.
+pub fn generate(p: &MicroProgram, opts: SequencerOptions) -> Result<Module, CoreError> {
+    p.validate()?;
+    let layout = ControlWordLayout::for_program(p);
+    if layout.width() > 128 {
+        return Err(CoreError::BadSpec(format!(
+            "control word of {} bits exceeds 128",
+            layout.width()
+        )));
+    }
+    let ub = p.upc_bits();
+    let depth = 1usize << ub;
+    let cw = layout.width();
+    let mut m = Module::new(format!(
+        "{}_{}",
+        p.name(),
+        if opts.flexible { "full" } else { "bound" }
+    ));
+    let num_cond_bits = p.num_conds().max(1);
+    m.add_input("cond", num_cond_bits);
+
+    // Microcode store.
+    if opts.flexible {
+        m.add_input("cfg_addr", ub);
+        m.add_input("cfg_data", cw);
+        m.add_input("cfg_wen", 1);
+        m.add_memory(Memory {
+            name: "ucode".into(),
+            width: cw,
+            depth,
+            contents: None,
+            write_port: Some(("cfg_addr".into(), "cfg_data".into(), "cfg_wen".into())),
+        });
+    } else {
+        let words: Vec<u128> = (0..depth)
+            .map(|a| {
+                p.instrs()
+                    .get(a)
+                    .map(|i| layout.encode(p, i))
+                    .unwrap_or(0)
+            })
+            .collect();
+        m.add_memory(Memory {
+            name: "ucode".into(),
+            width: cw,
+            depth,
+            contents: Some(words),
+            write_port: None,
+        });
+    }
+    m.add_wire(
+        "cw",
+        cw,
+        Expr::read_mem("ucode", Expr::reference("upc")),
+    );
+
+    // Next-µPC logic.
+    let mode0 = Expr::reference("cw").index(layout.mode_offset);
+    let mode1 = Expr::reference("cw").index(layout.mode_offset + 1);
+    let target = Expr::reference("cw").slice(layout.target_offset, layout.target_width);
+    let inc = Expr::reference("upc").inc();
+    // Selected condition bit: mux over the cond inputs by the cond-select
+    // field (single condition: bit 0 directly).
+    let sel_cond = if p.num_conds() <= 1 {
+        Expr::reference("cond").index(0)
+    } else {
+        bit_select(
+            "cond",
+            num_cond_bits,
+            &Expr::reference("cw").slice(layout.cond_offset, layout.cond_width),
+            layout.cond_width,
+        )
+    };
+    let cond_next = sel_cond.mux(inc.clone(), target.clone());
+    let next_upc = mode1.mux(
+        // mode1 = 0: seq (00) or jump (01)
+        mode0.clone().mux(inc, target),
+        // mode1 = 1: cond-jump (10) or halt (11)
+        mode0.mux(cond_next, Expr::reference("upc")),
+    );
+    m.add_register(Register {
+        name: "upc".into(),
+        width: ub,
+        next: next_upc,
+        reset: RegReset {
+            kind: ResetKind::Sync,
+            value: 0,
+        },
+    });
+
+    // Field outputs. Annotations derive from *reachable* rows only — the
+    // generator knows the program's control flow, so it can assert tighter
+    // sets than the raw table contents suggest.
+    let value_sets = p.field_value_sets_reachable();
+    for (fi, f) in p.format().fields().iter().enumerate() {
+        let off = p.format().offset(fi);
+        let slice = Expr::reference("cw").slice(off, f.width);
+        if opts.register_outputs {
+            let reg = format!("{}_r", f.name);
+            m.add_register(Register {
+                name: reg.clone(),
+                width: f.width,
+                next: slice,
+                reset: RegReset {
+                    kind: ResetKind::Sync,
+                    value: 0,
+                },
+            });
+            m.add_output(&f.name, f.width, Expr::reference(&reg));
+            if opts.annotate_fields && !opts.flexible {
+                let mut values = value_sets[fi].clone();
+                values.insert(0); // the reset value
+                m.annotate(
+                    reg,
+                    ValueSet::from_values(f.width as u32, values.into_iter()),
+                );
+            }
+        } else {
+            m.add_output(&f.name, f.width, slice);
+        }
+    }
+
+    if opts.annotate_fsm && !opts.flexible {
+        m.set_fsm(FsmInfo {
+            state_reg: "upc".into(),
+            codes: p
+                .reachable_addresses()
+                .into_iter()
+                .map(|a| a as u128)
+                .collect(),
+            reset_code: 0,
+        });
+    }
+    Ok(m)
+}
+
+/// Builds `bus[sel]` as a mux tree (`sel` is `sel_width` bits; out-of-range
+/// selects read as bit 0 semantics of the padded tree).
+fn bit_select(bus: &str, bus_width: usize, sel: &Expr, sel_width: usize) -> Expr {
+    fn rec(bus: &str, lo: usize, bus_width: usize, sel: &Expr, level: usize) -> Expr {
+        if level == 0 {
+            let idx = lo.min(bus_width - 1);
+            return Expr::reference(bus).index(idx);
+        }
+        let half = 1usize << (level - 1);
+        let low = rec(bus, lo, bus_width, sel, level - 1);
+        let high = rec(bus, lo + half, bus_width, sel, level - 1);
+        sel.clone().index(level - 1).mux(low, high)
+    }
+    rec(bus, 0, bus_width, sel, sel_width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microcode::{Field, MicroInstr, MicrocodeFormat};
+    use std::collections::HashMap;
+
+    fn demo_program() -> MicroProgram {
+        let fmt = MicrocodeFormat::new(vec![
+            Field::one_hot("pipe", 4),
+            Field::binary("len", 2),
+        ]);
+        let mut p = MicroProgram::new("demo", fmt, 2);
+        p.emit(&[("pipe", 0b0001), ("len", 1)], NextCtl::Seq);
+        p.emit(&[("pipe", 0b0010), ("len", 2)], NextCtl::CondJump { cond: 1, target: 0 });
+        p.emit(&[("pipe", 0b1000)], NextCtl::Jump(2));
+        p
+    }
+
+    #[test]
+    fn layout_and_encoding() {
+        let p = demo_program();
+        let layout = ControlWordLayout::for_program(&p);
+        assert_eq!(layout.fields_width, 6);
+        assert_eq!(layout.target_width, 2);
+        let w = layout.encode(&p, &p.instrs()[1]);
+        // fields at bottom.
+        assert_eq!(w & 0x3F, (0b0010 | (2 << 4)) as u128);
+        // mode = 10.
+        assert_eq!(w >> layout.mode_offset & 0b11, 0b10);
+        assert_eq!(w >> layout.cond_offset & 0b1, 1);
+        assert_eq!(w >> layout.target_offset & 0b11, 0);
+    }
+
+    #[test]
+    fn generated_hardware_matches_reference_simulation() {
+        let p = demo_program();
+        let m = generate(&p, SequencerOptions::default()).unwrap();
+        let e = synthir_rtl::elaborate(&m).unwrap();
+        let mut sim = synthir_sim::SeqSim::new(&e.netlist).unwrap();
+        // Drive cond=0b10 on cycle 1 so the cond-jump at addr 1 fires.
+        let cond_seq = [0u64, 0b10, 0, 0, 0, 0];
+        let sw_trace = p.simulate(&cond_seq, 6);
+        for (cycle, expected) in sw_trace.iter().enumerate() {
+            let mut inputs = HashMap::new();
+            inputs.insert("cond".to_string(), cond_seq[cycle] as u128);
+            let out = sim.step(&inputs);
+            assert_eq!(out["pipe"], expected[0], "cycle {cycle} pipe");
+            assert_eq!(out["len"], expected[1], "cycle {cycle} len");
+        }
+    }
+
+    #[test]
+    fn flexible_variant_has_config_memory() {
+        let p = demo_program();
+        let full = generate(
+            &p,
+            SequencerOptions {
+                flexible: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let bound = generate(&p, SequencerOptions::default()).unwrap();
+        let ef = synthir_rtl::elaborate(&full).unwrap();
+        let eb = synthir_rtl::elaborate(&bound).unwrap();
+        // Flexible: ucode storage flops (depth 4 x cw) + upc.
+        assert!(ef.netlist.flop_count() > eb.netlist.flop_count() + 10);
+        // Bound: only the upc flops.
+        assert_eq!(eb.netlist.flop_count(), p.upc_bits());
+    }
+
+    #[test]
+    fn annotations_derived_from_program() {
+        let p = demo_program();
+        let m = generate(
+            &p,
+            SequencerOptions {
+                register_outputs: true,
+                annotate_fsm: true,
+                annotate_fields: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(m.fsm.is_some());
+        assert_eq!(m.annotations.len(), 2);
+        // The pipe field's value set: program values + reset 0.
+        let pipe = &m.annotations[0];
+        assert!(pipe.values.contains(0b0001));
+        assert!(pipe.values.contains(0));
+        assert!(!pipe.values.contains(0b0011));
+        let e = synthir_rtl::elaborate(&m).unwrap();
+        assert_eq!(e.annotations.len(), 2);
+    }
+
+    #[test]
+    fn registered_outputs_lag_by_one_cycle() {
+        let p = demo_program();
+        let m = generate(
+            &p,
+            SequencerOptions {
+                register_outputs: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let e = synthir_rtl::elaborate(&m).unwrap();
+        let mut sim = synthir_sim::SeqSim::new(&e.netlist).unwrap();
+        let idle = HashMap::new();
+        let out0 = sim.step(&idle);
+        assert_eq!(out0["pipe"], 0, "reset value before first sample");
+        let out1 = sim.step(&idle);
+        assert_eq!(out1["pipe"], 0b0001);
+    }
+
+    #[test]
+    fn rejects_invalid_program() {
+        let fmt = MicrocodeFormat::new(vec![Field::binary("x", 1)]);
+        let mut p = MicroProgram::new("bad", fmt, 0);
+        p.push(MicroInstr {
+            fields: vec![0],
+            next: NextCtl::Jump(9),
+        });
+        assert!(generate(&p, SequencerOptions::default()).is_err());
+    }
+}

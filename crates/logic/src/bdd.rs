@@ -1,0 +1,371 @@
+//! A small reduced-ordered binary decision diagram (ROBDD) manager.
+//!
+//! Used by the equivalence checker in `synthir-sim` and by reachability
+//! analysis in the synthesis engine. Variable order is the natural index
+//! order; no dynamic reordering is performed (our cones are small).
+
+use std::collections::HashMap;
+
+/// A reference to a BDD node inside a [`Bdd`] manager.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant-false terminal.
+    pub const ZERO: BddRef = BddRef(0);
+    /// The constant-true terminal.
+    pub const ONE: BddRef = BddRef(1);
+
+    /// Whether this is one of the two terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+/// A hash-consing ROBDD manager.
+///
+/// # Examples
+///
+/// ```
+/// use synthir_logic::Bdd;
+///
+/// let mut bdd = Bdd::new();
+/// let a = bdd.var(0);
+/// let b = bdd.var(1);
+/// let ab = bdd.and(a, b);
+/// let ba = bdd.and(b, a);
+/// assert_eq!(ab, ba); // canonical
+/// assert_eq!(bdd.sat_count(ab, 2), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<NodeRepr>,
+    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
+    ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct NodeRepr {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+impl Bdd {
+    /// Creates an empty manager containing only the two terminals.
+    pub fn new() -> Self {
+        Bdd {
+            nodes: vec![
+                NodeRepr {
+                    var: TERMINAL_VAR,
+                    lo: BddRef::ZERO,
+                    hi: BddRef::ZERO,
+                },
+                NodeRepr {
+                    var: TERMINAL_VAR,
+                    lo: BddRef::ONE,
+                    hi: BddRef::ONE,
+                },
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    /// The constant function.
+    pub fn constant(&self, v: bool) -> BddRef {
+        if v {
+            BddRef::ONE
+        } else {
+            BddRef::ZERO
+        }
+    }
+
+    /// The projection function of variable `var`.
+    pub fn var(&mut self, var: u32) -> BddRef {
+        self.mk(var, BddRef::ZERO, BddRef::ONE)
+    }
+
+    /// Number of live nodes (including terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return r;
+        }
+        let r = BddRef(self.nodes.len() as u32);
+        self.nodes.push(NodeRepr { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        r
+    }
+
+    fn node(&self, r: BddRef) -> Node {
+        let n = self.nodes[r.0 as usize];
+        Node {
+            var: n.var,
+            lo: n.lo,
+            hi: n.hi,
+        }
+    }
+
+    fn top_var(&self, f: BddRef, g: BddRef, h: BddRef) -> u32 {
+        let mut v = TERMINAL_VAR;
+        for r in [f, g, h] {
+            if !r.is_terminal() {
+                v = v.min(self.node(r).var);
+            }
+        }
+        v
+    }
+
+    fn cofactor(&self, f: BddRef, var: u32, value: bool) -> BddRef {
+        if f.is_terminal() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var != var {
+            return f;
+        }
+        if value {
+            n.hi
+        } else {
+            n.lo
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = f·g + !f·h`. The universal connective.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        // Terminal cases.
+        if f == BddRef::ONE {
+            return g;
+        }
+        if f == BddRef::ZERO {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == BddRef::ONE && h == BddRef::ZERO {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let v = self.top_var(f, g, h);
+        let f0 = self.cofactor(f, v, false);
+        let f1 = self.cofactor(f, v, true);
+        let g0 = self.cofactor(g, v, false);
+        let g1 = self.cofactor(g, v, true);
+        let h0 = self.cofactor(h, v, false);
+        let h1 = self.cofactor(h, v, true);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, g, BddRef::ZERO)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, BddRef::ONE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        self.ite(f, BddRef::ZERO, BddRef::ONE)
+    }
+
+    /// Evaluates the function under a variable assignment (bit `i` of
+    /// `assignment` is variable `i`).
+    pub fn eval(&self, f: BddRef, assignment: u64) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.node(cur);
+            cur = if assignment >> n.var & 1 != 0 {
+                n.hi
+            } else {
+                n.lo
+            };
+        }
+        cur == BddRef::ONE
+    }
+
+    /// Number of satisfying assignments over `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node's variable index is `>= nvars`.
+    pub fn sat_count(&self, f: BddRef, nvars: u32) -> u128 {
+        let mut memo: HashMap<BddRef, u128> = HashMap::new();
+        self.sat_count_rec(f, nvars, &mut memo)
+    }
+
+    fn sat_count_rec(&self, f: BddRef, nvars: u32, memo: &mut HashMap<BddRef, u128>) -> u128 {
+        if f == BddRef::ZERO {
+            return 0;
+        }
+        if f == BddRef::ONE {
+            return 1u128 << nvars;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.node(f);
+        assert!(n.var < nvars, "node variable out of declared range");
+        // Counts are normalized to the full 2^nvars space, so a decision on
+        // one variable halves each branch's contribution: the lo branch's
+        // function is independent of n.var, hence exactly half its satisfying
+        // assignments have n.var = 0 (and symmetrically for hi).
+        let lo = self.sat_count_rec(n.lo, nvars, memo);
+        let hi = self.sat_count_rec(n.hi, nvars, memo);
+        let c = (lo + hi) / 2;
+        memo.insert(f, c);
+        c
+    }
+
+    /// Whether two functions are identical (constant-time: canonicity).
+    pub fn equivalent(&self, f: BddRef, g: BddRef) -> bool {
+        f == g
+    }
+
+    /// One satisfying assignment, if any (variables not on the path are 0).
+    pub fn any_sat(&self, f: BddRef) -> Option<u64> {
+        if f == BddRef::ZERO {
+            return None;
+        }
+        let mut m = 0u64;
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.node(cur);
+            if n.hi != BddRef::ZERO {
+                m |= 1 << n.var;
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        Some(m)
+    }
+
+    /// Builds a BDD from a truth table (variable `i` = table input `i`).
+    pub fn from_truth_table(&mut self, tt: &crate::TruthTable) -> BddRef {
+        self.from_tt_rec(tt, 0, 0)
+    }
+
+    fn from_tt_rec(&mut self, tt: &crate::TruthTable, var: usize, prefix: usize) -> BddRef {
+        if var == tt.inputs() {
+            return self.constant(tt.eval(prefix));
+        }
+        let lo = self.from_tt_rec(tt, var + 1, prefix);
+        let hi = self.from_tt_rec(tt, var + 1, prefix | (1 << var));
+        self.mk(var as u32, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    #[test]
+    fn canonicity() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let ab = bdd.and(a, b);
+        let ba = bdd.and(b, a);
+        assert!(bdd.equivalent(ab, ba));
+        let aa = bdd.and(a, a);
+        assert_eq!(aa, a);
+        let na = bdd.not(a);
+        let nna = bdd.not(na);
+        assert_eq!(nna, a);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let f = bdd.or(ab, c);
+        for m in 0..8u64 {
+            let expect = (m & 1 != 0 && m & 2 != 0) || m & 4 != 0;
+            assert_eq!(bdd.eval(f, m), expect, "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn sat_count() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.xor(a, b);
+        assert_eq!(bdd.sat_count(f, 2), 2);
+        assert_eq!(bdd.sat_count(BddRef::ONE, 5), 32);
+        assert_eq!(bdd.sat_count(BddRef::ZERO, 5), 0);
+        // Single variable over 3 vars: half the space.
+        assert_eq!(bdd.sat_count(a, 3), 4);
+    }
+
+    #[test]
+    fn from_truth_table_round_trip() {
+        let mut bdd = Bdd::new();
+        let tt = TruthTable::from_fn(4, |m| m.count_ones() % 2 == 0);
+        let f = bdd.from_truth_table(&tt);
+        for m in 0..16u64 {
+            assert_eq!(bdd.eval(f, m), tt.eval(m as usize));
+        }
+        assert_eq!(bdd.sat_count(f, 4), 8);
+    }
+
+    #[test]
+    fn any_sat() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let na = bdd.not(a);
+        let f = bdd.and(na, b);
+        let m = bdd.any_sat(f).unwrap();
+        assert!(bdd.eval(f, m));
+        assert_eq!(bdd.any_sat(BddRef::ZERO), None);
+    }
+
+    #[test]
+    fn equivalence_check_of_distinct_functions() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let g = bdd.or(a, b);
+        assert!(!bdd.equivalent(f, g));
+        let diff = bdd.xor(f, g);
+        assert!(bdd.any_sat(diff).is_some());
+    }
+}

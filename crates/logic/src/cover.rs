@@ -1,0 +1,480 @@
+//! Sum-of-products covers.
+
+use crate::{Cube, LogicError, TruthTable, MAX_TT_INPUTS};
+
+/// A sum-of-products cover: a disjunction of [`Cube`] product terms over a
+/// common variable space.
+///
+/// # Examples
+///
+/// ```
+/// use synthir_logic::{Cover, Cube};
+///
+/// let mut f = Cover::empty(3);
+/// f.push(Cube::new(3, 0b011, 0b011)); // a & b
+/// f.push(Cube::new(3, 0b100, 0b100)); // c
+/// assert!(f.eval(0b111));
+/// assert!(!f.eval(0b001));
+/// assert_eq!(f.literal_count(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cover {
+    nvars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant false).
+    pub fn empty(nvars: usize) -> Self {
+        Cover {
+            nvars,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// The tautological cover (constant true).
+    pub fn tautology_cover(nvars: usize) -> Self {
+        Cover {
+            nvars,
+            cubes: vec![Cube::universe(nvars)],
+        }
+    }
+
+    /// Builds a cover from cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube ranges over a different number of variables.
+    pub fn from_cubes(nvars: usize, cubes: impl IntoIterator<Item = Cube>) -> Self {
+        let cubes: Vec<Cube> = cubes.into_iter().collect();
+        for c in &cubes {
+            assert_eq!(c.nvars(), nvars, "cube variable count mismatch");
+        }
+        Cover { nvars, cubes }
+    }
+
+    /// Builds the canonical minterm cover of a truth table (one cube per ON
+    /// minterm, in ascending minterm order).
+    pub fn from_truth_table(tt: &TruthTable) -> Self {
+        Cover {
+            nvars: tt.inputs(),
+            cubes: tt.iter_ones().map(|m| Cube::minterm(tt.inputs(), m as u64)).collect(),
+        }
+    }
+
+    /// Number of variables of the cover's space.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of cubes.
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literals across all cubes (a standard two-level cost
+    /// metric).
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Whether the cover has no cubes (constant false).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The cubes.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Appends a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube ranges over a different number of variables.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.nvars(), self.nvars, "cube variable count mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Evaluates the cover on a minterm.
+    pub fn eval(&self, m: u64) -> bool {
+        self.cubes.iter().any(|c| c.contains_minterm(m))
+    }
+
+    /// Converts the cover to a complete truth table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyVariables`] if `nvars > MAX_TT_INPUTS`,
+    /// or [`LogicError::VariableCountMismatch`] if `nvars != self.nvars()`.
+    pub fn try_to_truth_table(&self, nvars: usize) -> Result<TruthTable, LogicError> {
+        if nvars != self.nvars {
+            return Err(LogicError::VariableCountMismatch {
+                left: nvars,
+                right: self.nvars,
+            });
+        }
+        if nvars > MAX_TT_INPUTS {
+            return Err(LogicError::TooManyVariables {
+                requested: nvars,
+                max: MAX_TT_INPUTS,
+            });
+        }
+        Ok(TruthTable::from_fn(nvars, |m| self.eval(m as u64)))
+    }
+
+    /// Converts the cover to a complete truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the error conditions of [`Cover::try_to_truth_table`].
+    pub fn to_truth_table(&self, nvars: usize) -> TruthTable {
+        self.try_to_truth_table(nvars)
+            .expect("cover convertible to truth table")
+    }
+
+    /// The cofactor of the cover with respect to a cube: keeps the cubes
+    /// intersecting `c` and removes `c`'s literals from them.
+    pub fn cofactor_cube(&self, c: &Cube) -> Cover {
+        Cover {
+            nvars: self.nvars,
+            cubes: self
+                .cubes
+                .iter()
+                .filter_map(|k| k.cofactor_cube(c))
+                .collect(),
+        }
+    }
+
+    /// The cofactor with respect to a single variable assignment.
+    pub fn cofactor(&self, var: usize, value: bool) -> Cover {
+        Cover {
+            nvars: self.nvars,
+            cubes: self
+                .cubes
+                .iter()
+                .filter_map(|k| k.cofactor(var, value))
+                .collect(),
+        }
+    }
+
+    /// Whether the cover is a tautology (covers every minterm).
+    ///
+    /// Uses the standard unate-recursive paradigm: pick the most binate
+    /// variable, recurse on both cofactors.
+    pub fn is_tautology(&self) -> bool {
+        // Quick exits.
+        if self.cubes.iter().any(|c| c.literal_count() == 0) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        // Count of minterms lower bound check: skip (cheap recursion below).
+        match self.most_binate_variable() {
+            None => {
+                // Cover is unate in every variable; a unate cover is a
+                // tautology iff it contains the universal cube (already
+                // checked above).
+                false
+            }
+            Some(var) => {
+                self.cofactor(var, false).is_tautology()
+                    && self.cofactor(var, true).is_tautology()
+            }
+        }
+    }
+
+    /// The variable appearing in the most cubes with both polarities, or
+    /// `None` if the cover is unate. Falls back to the most frequent literal
+    /// variable when no variable is binate but some cubes exist.
+    fn most_binate_variable(&self) -> Option<usize> {
+        let mut pos = vec![0usize; self.nvars];
+        let mut neg = vec![0usize; self.nvars];
+        for c in &self.cubes {
+            let care = c.care_mask();
+            let value = c.value_mask();
+            for v in 0..self.nvars {
+                if care >> v & 1 != 0 {
+                    if value >> v & 1 != 0 {
+                        pos[v] += 1;
+                    } else {
+                        neg[v] += 1;
+                    }
+                }
+            }
+        }
+        (0..self.nvars)
+            .filter(|&v| pos[v] > 0 && neg[v] > 0)
+            .max_by_key(|&v| pos[v].min(neg[v]) * 1024 + pos[v] + neg[v])
+    }
+
+    /// Whether a cube is entirely covered by this cover.
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        self.cofactor_cube(cube).is_tautology()
+    }
+
+    /// Whether this cover covers every minterm of `other`.
+    pub fn covers(&self, other: &Cover) -> bool {
+        other.cubes.iter().all(|c| self.covers_cube(c))
+    }
+
+    /// The complement of the cover, computed by Shannon recursion.
+    pub fn complement(&self) -> Cover {
+        complement_rec(self)
+    }
+
+    /// Removes cubes contained in other single cubes of the cover
+    /// (single-cube containment).
+    pub fn remove_contained_cubes(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.cubes.len() {
+                if i != j
+                    && keep[j]
+                    && self.cubes[j].contains_cube(&self.cubes[i])
+                    && (self.cubes[i] != self.cubes[j] || i > j)
+                {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.cubes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// The disjunction of two covers over the same space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn union(&self, other: &Cover) -> Cover {
+        assert_eq!(self.nvars, other.nvars, "cover variable count mismatch");
+        let mut cubes = self.cubes.clone();
+        cubes.extend_from_slice(&other.cubes);
+        Cover {
+            nvars: self.nvars,
+            cubes,
+        }
+    }
+}
+
+fn complement_rec(f: &Cover) -> Cover {
+    let nvars = f.nvars();
+    // Terminal cases.
+    if f.cubes().iter().any(|c| c.literal_count() == 0) {
+        return Cover::empty(nvars);
+    }
+    if f.is_empty() {
+        return Cover::tautology_cover(nvars);
+    }
+    if f.cube_count() == 1 {
+        // De Morgan on a single cube.
+        let c = &f.cubes()[0];
+        let mut out = Cover::empty(nvars);
+        for v in 0..nvars {
+            match c.literal(v) {
+                crate::cube::Literal::DontCare => {}
+                crate::cube::Literal::Positive => {
+                    out.push(Cube::new(nvars, 0, 1u64 << v));
+                }
+                crate::cube::Literal::Negative => {
+                    out.push(Cube::new(nvars, 1u64 << v, 1u64 << v));
+                }
+            }
+        }
+        return out;
+    }
+    // Split on the most used variable.
+    let var = {
+        let mut counts = vec![0usize; nvars];
+        for c in f.cubes() {
+            for v in 0..nvars {
+                if c.care_mask() >> v & 1 != 0 {
+                    counts[v] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(v, _)| v)
+            .expect("nonempty")
+    };
+    let c0 = complement_rec(&f.cofactor(var, false));
+    let c1 = complement_rec(&f.cofactor(var, true));
+    let mut out = Cover::empty(nvars);
+    for c in c0.cubes() {
+        if let Some(k) = c.intersect(&Cube::new(nvars, 0, 1u64 << var)) {
+            out.push(k);
+        }
+    }
+    for c in c1.cubes() {
+        if let Some(k) = c.intersect(&Cube::new(nvars, 1u64 << var, 1u64 << var)) {
+            out.push(k);
+        }
+    }
+    out.remove_contained_cubes();
+    out
+}
+
+impl std::fmt::Debug for Cover {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cover[{} vars; ", self.nvars)?;
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl std::fmt::Display for Cover {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor2() -> Cover {
+        Cover::from_cubes(
+            2,
+            [Cube::new(2, 0b01, 0b11), Cube::new(2, 0b10, 0b11)],
+        )
+    }
+
+    #[test]
+    fn eval_matches_cubes() {
+        let f = xor2();
+        assert!(!f.eval(0b00));
+        assert!(f.eval(0b01));
+        assert!(f.eval(0b10));
+        assert!(!f.eval(0b11));
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(Cover::tautology_cover(3).is_tautology());
+        assert!(!Cover::empty(3).is_tautology());
+        assert!(!xor2().is_tautology());
+        // a + !a is a tautology.
+        let f = Cover::from_cubes(
+            1,
+            [Cube::new(1, 1, 1), Cube::new(1, 0, 1)],
+        );
+        assert!(f.is_tautology());
+        // Harder: a + !a&b + !a&!b over 2 vars.
+        let f = Cover::from_cubes(
+            2,
+            [
+                Cube::new(2, 0b01, 0b01),
+                Cube::new(2, 0b10, 0b11),
+                Cube::new(2, 0b00, 0b11),
+            ],
+        );
+        assert!(f.is_tautology());
+    }
+
+    #[test]
+    fn complement_is_exact() {
+        let f = xor2();
+        let g = f.complement();
+        for m in 0..4 {
+            assert_eq!(g.eval(m), !f.eval(m), "minterm {m}");
+        }
+        // Complement of empty is tautology and vice versa.
+        assert!(Cover::empty(3).complement().is_tautology());
+        assert!(Cover::tautology_cover(3).complement().is_empty());
+    }
+
+    #[test]
+    fn complement_random_functions() {
+        for seed in 0..20u64 {
+            let tt = TruthTable::from_fn(5, |m| {
+                let h = (m as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed.wrapping_mul(0xABCD);
+                h.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 != 0
+            });
+            let f = Cover::from_truth_table(&tt);
+            let g = f.complement();
+            for m in 0..32u64 {
+                assert_eq!(g.eval(m), !tt.eval(m as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn covers_and_containment() {
+        let f = xor2();
+        assert!(f.covers_cube(&Cube::minterm(2, 0b01)));
+        assert!(!f.covers_cube(&Cube::minterm(2, 0b11)));
+        let g = Cover::from_cubes(2, [Cube::new(2, 0b01, 0b11)]);
+        assert!(f.covers(&g));
+        assert!(!g.covers(&f));
+    }
+
+    #[test]
+    fn remove_contained() {
+        let mut f = Cover::from_cubes(
+            2,
+            [
+                Cube::new(2, 0b01, 0b01),  // a
+                Cube::new(2, 0b01, 0b11),  // a & !b (contained in a)
+                Cube::new(2, 0b01, 0b01),  // duplicate of a
+            ],
+        );
+        f.remove_contained_cubes();
+        assert_eq!(f.cube_count(), 1);
+    }
+
+    #[test]
+    fn truth_table_round_trip() {
+        let tt = TruthTable::from_fn(4, |m| m.count_ones() >= 2);
+        let f = Cover::from_truth_table(&tt);
+        assert_eq!(f.to_truth_table(4), tt);
+    }
+
+    #[test]
+    fn union_evaluates_as_or() {
+        let a = Cover::from_cubes(2, [Cube::new(2, 0b01, 0b11)]);
+        let b = Cover::from_cubes(2, [Cube::new(2, 0b10, 0b11)]);
+        let u = a.union(&b);
+        assert_eq!(u.cube_count(), 2);
+        for m in 0..4 {
+            assert_eq!(u.eval(m), a.eval(m) || b.eval(m));
+        }
+    }
+
+    #[test]
+    fn display_pla_style() {
+        let f = xor2();
+        let s = format!("{f}");
+        assert!(s.contains("01"));
+        assert!(s.contains("10"));
+        assert_eq!(format!("{}", Cover::empty(2)), "0");
+    }
+}

@@ -1,0 +1,327 @@
+//! Three-valued product terms (cubes).
+
+use crate::MAX_CUBE_VARS;
+
+/// A product term over up to [`MAX_CUBE_VARS`] boolean variables.
+///
+/// Each variable is either required positive, required negative, or a
+/// don't-care. The representation is a `(value, care)` pair of masks:
+/// variable `i` is a literal iff bit `i` of `care` is set, in which case its
+/// required polarity is bit `i` of `value`.
+///
+/// # Examples
+///
+/// ```
+/// use synthir_logic::Cube;
+///
+/// // a & !c over 3 variables
+/// let c = Cube::new(3, 0b001, 0b101);
+/// assert!(c.contains_minterm(0b011));
+/// assert!(!c.contains_minterm(0b100));
+/// assert_eq!(c.literal_count(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    nvars: u8,
+    value: u64,
+    care: u64,
+}
+
+/// Polarity of one literal position of a [`Cube`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// The variable does not appear in the product term.
+    DontCare,
+    /// The variable appears complemented.
+    Negative,
+    /// The variable appears uncomplemented.
+    Positive,
+}
+
+impl Cube {
+    /// Creates a cube over `nvars` variables with the given literal masks.
+    ///
+    /// Bits of `value` outside `care`, and bits of either mask at positions
+    /// `>= nvars`, are ignored and normalized away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > MAX_CUBE_VARS`.
+    pub fn new(nvars: usize, value: u64, care: u64) -> Self {
+        assert!(
+            nvars <= MAX_CUBE_VARS,
+            "cube over {nvars} variables exceeds maximum {MAX_CUBE_VARS}"
+        );
+        let mask = if nvars == 64 {
+            u64::MAX
+        } else {
+            (1u64 << nvars) - 1
+        };
+        let care = care & mask;
+        Cube {
+            nvars: nvars as u8,
+            value: value & care,
+            care,
+        }
+    }
+
+    /// The universal cube (tautology: no literals).
+    pub fn universe(nvars: usize) -> Self {
+        Cube::new(nvars, 0, 0)
+    }
+
+    /// The cube matching exactly one minterm.
+    pub fn minterm(nvars: usize, m: u64) -> Self {
+        let mask = if nvars == 64 {
+            u64::MAX
+        } else {
+            (1u64 << nvars) - 1
+        };
+        Cube::new(nvars, m, mask)
+    }
+
+    /// Number of variables in the cube's space.
+    pub fn nvars(&self) -> usize {
+        self.nvars as usize
+    }
+
+    /// The polarity mask (valid only where [`Cube::care_mask`] is set).
+    pub fn value_mask(&self) -> u64 {
+        self.value
+    }
+
+    /// The literal-presence mask.
+    pub fn care_mask(&self) -> u64 {
+        self.care
+    }
+
+    /// Number of literals in the product term.
+    pub fn literal_count(&self) -> usize {
+        self.care.count_ones() as usize
+    }
+
+    /// The literal at variable `var`.
+    pub fn literal(&self, var: usize) -> Literal {
+        assert!(var < self.nvars(), "variable out of range");
+        if self.care >> var & 1 == 0 {
+            Literal::DontCare
+        } else if self.value >> var & 1 == 1 {
+            Literal::Positive
+        } else {
+            Literal::Negative
+        }
+    }
+
+    /// Returns a copy with the literal at `var` replaced.
+    pub fn with_literal(&self, var: usize, lit: Literal) -> Cube {
+        assert!(var < self.nvars(), "variable out of range");
+        let bit = 1u64 << var;
+        let (value, care) = match lit {
+            Literal::DontCare => (self.value & !bit, self.care & !bit),
+            Literal::Negative => (self.value & !bit, self.care | bit),
+            Literal::Positive => (self.value | bit, self.care | bit),
+        };
+        Cube::new(self.nvars(), value, care)
+    }
+
+    /// Whether minterm `m` lies inside the cube.
+    pub fn contains_minterm(&self, m: u64) -> bool {
+        (m ^ self.value) & self.care == 0
+    }
+
+    /// Whether this cube contains (covers) `other` as a set of minterms.
+    pub fn contains_cube(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.nvars, other.nvars);
+        // Every literal of self must be a literal of other with equal polarity.
+        self.care & !other.care == 0 && (self.value ^ other.value) & self.care == 0
+    }
+
+    /// The intersection of two cubes, or `None` if they are disjoint.
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.nvars, other.nvars);
+        let conflict = (self.value ^ other.value) & self.care & other.care;
+        if conflict != 0 {
+            return None;
+        }
+        Some(Cube::new(
+            self.nvars(),
+            self.value | other.value,
+            self.care | other.care,
+        ))
+    }
+
+    /// The number of variables in which the cubes conflict (opposite
+    /// required polarity). Distance 0 means the cubes intersect; distance 1
+    /// means their consensus exists.
+    pub fn distance(&self, other: &Cube) -> usize {
+        debug_assert_eq!(self.nvars, other.nvars);
+        ((self.value ^ other.value) & self.care & other.care).count_ones() as usize
+    }
+
+    /// The consensus of two cubes at distance exactly 1, if it exists.
+    pub fn consensus(&self, other: &Cube) -> Option<Cube> {
+        let conflict = (self.value ^ other.value) & self.care & other.care;
+        if conflict.count_ones() != 1 {
+            return None;
+        }
+        let care = (self.care | other.care) & !conflict;
+        let value = (self.value | other.value) & care;
+        Some(Cube::new(self.nvars(), value, care))
+    }
+
+    /// Cofactors the cube with respect to `var = value`.
+    ///
+    /// Returns `None` if the cube requires the opposite polarity (empty
+    /// cofactor); otherwise the cube with the `var` literal dropped.
+    pub fn cofactor(&self, var: usize, value: bool) -> Option<Cube> {
+        let bit = 1u64 << var;
+        if self.care & bit != 0 && (self.value & bit != 0) != value {
+            return None;
+        }
+        Some(Cube::new(self.nvars(), self.value & !bit, self.care & !bit))
+    }
+
+    /// Cofactors this cube with respect to another cube (the generalized
+    /// cofactor used by tautology checking): returns `None` if disjoint,
+    /// otherwise this cube with `other`'s literals removed.
+    pub fn cofactor_cube(&self, other: &Cube) -> Option<Cube> {
+        if self.distance(other) != 0 {
+            return None;
+        }
+        Some(Cube::new(
+            self.nvars(),
+            self.value & !other.care,
+            self.care & !other.care,
+        ))
+    }
+
+    /// Number of minterms covered by the cube.
+    pub fn minterm_count(&self) -> u128 {
+        1u128 << (self.nvars() - self.literal_count())
+    }
+
+    /// Iterator over the minterms the cube covers (use only for small cubes).
+    pub fn iter_minterms(&self) -> impl Iterator<Item = u64> + '_ {
+        let free: Vec<usize> = (0..self.nvars())
+            .filter(|&v| self.care >> v & 1 == 0)
+            .collect();
+        let n = 1u64 << free.len();
+        let base = self.value;
+        (0..n).map(move |k| {
+            let mut m = base;
+            for (i, &v) in free.iter().enumerate() {
+                if k >> i & 1 != 0 {
+                    m |= 1 << v;
+                }
+            }
+            m
+        })
+    }
+}
+
+impl std::fmt::Display for Cube {
+    /// PLA-style notation, most significant variable first: `1`, `0`, `-`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for v in (0..self.nvars()).rev() {
+            let c = match self.literal(v) {
+                Literal::DontCare => '-',
+                Literal::Negative => '0',
+                Literal::Positive => '1',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Cube {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cube({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_and_minterm() {
+        let u = Cube::universe(4);
+        assert_eq!(u.literal_count(), 0);
+        assert_eq!(u.minterm_count(), 16);
+        for m in 0..16 {
+            assert!(u.contains_minterm(m));
+        }
+        let m = Cube::minterm(4, 0b1010);
+        assert_eq!(m.minterm_count(), 1);
+        assert!(m.contains_minterm(0b1010));
+        assert!(!m.contains_minterm(0b1011));
+    }
+
+    #[test]
+    fn containment() {
+        let big = Cube::new(3, 0b001, 0b001); // a
+        let small = Cube::new(3, 0b011, 0b011); // a & b
+        assert!(big.contains_cube(&small));
+        assert!(!small.contains_cube(&big));
+        assert!(big.contains_cube(&big));
+    }
+
+    #[test]
+    fn intersection_and_distance() {
+        let a = Cube::new(3, 0b001, 0b001); // a
+        let nb = Cube::new(3, 0b000, 0b010); // !b
+        let i = a.intersect(&nb).unwrap();
+        assert_eq!(i, Cube::new(3, 0b001, 0b011)); // a & !b
+        let na = Cube::new(3, 0b000, 0b001); // !a
+        assert_eq!(a.distance(&na), 1);
+        assert!(a.intersect(&na).is_none());
+    }
+
+    #[test]
+    fn consensus_exists_only_at_distance_one() {
+        let ab = Cube::new(3, 0b011, 0b011); // a & b
+        let nac = Cube::new(3, 0b100, 0b101); // !a & c
+        let cons = ab.consensus(&nac).unwrap();
+        assert_eq!(cons, Cube::new(3, 0b110, 0b110)); // b & c
+        let same = ab.consensus(&ab);
+        assert!(same.is_none());
+    }
+
+    #[test]
+    fn cofactor() {
+        let c = Cube::new(3, 0b001, 0b011); // a & !b
+        assert_eq!(c.cofactor(0, true).unwrap(), Cube::new(3, 0b000, 0b010));
+        assert!(c.cofactor(0, false).is_none());
+        // Cofactor on absent variable keeps the cube.
+        assert_eq!(c.cofactor(2, true).unwrap(), c);
+    }
+
+    #[test]
+    fn iter_minterms_enumerates_cube() {
+        let c = Cube::new(3, 0b001, 0b001); // a
+        let ms: Vec<u64> = c.iter_minterms().collect();
+        assert_eq!(ms.len(), 4);
+        for m in ms {
+            assert!(c.contains_minterm(m));
+        }
+    }
+
+    #[test]
+    fn display_uses_pla_notation() {
+        let c = Cube::new(3, 0b001, 0b101); // a & !c
+        assert_eq!(format!("{c}"), "0-1");
+    }
+
+    #[test]
+    fn with_literal_round_trips() {
+        let c = Cube::universe(4)
+            .with_literal(2, Literal::Positive)
+            .with_literal(0, Literal::Negative);
+        assert_eq!(c.literal(2), Literal::Positive);
+        assert_eq!(c.literal(0), Literal::Negative);
+        assert_eq!(c.literal(1), Literal::DontCare);
+        let c2 = c.with_literal(2, Literal::DontCare);
+        assert_eq!(c2.literal_count(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Berkeley PLA format import/export.
+//!
+//! The lingua franca of two-level minimizers (and of the espresso tool this
+//! crate's minimizer reimplements): `.i`/`.o` headers and one
+//! `<input-cube> <output-pattern>` line per product term. Only the
+//! single-output subset plus multi-output ON-set semantics (`1` = in ON-set,
+//! `~`/`0` = not covered) are supported.
+
+use crate::{Cover, Cube, LogicError};
+
+/// Serializes multi-output covers (all over the same inputs) to PLA text.
+///
+/// # Panics
+///
+/// Panics if the covers range over different variable counts.
+pub fn to_pla(covers: &[Cover]) -> String {
+    assert!(!covers.is_empty(), "at least one output");
+    let nvars = covers[0].nvars();
+    for c in covers {
+        assert_eq!(c.nvars(), nvars, "cover arity mismatch");
+    }
+    let mut s = format!(".i {nvars}\n.o {}\n", covers.len());
+    let mut terms: Vec<(Cube, Vec<bool>)> = Vec::new();
+    for (oi, c) in covers.iter().enumerate() {
+        for &cube in c.cubes() {
+            match terms.iter_mut().find(|(k, _)| *k == cube) {
+                Some((_, outs)) => outs[oi] = true,
+                None => {
+                    let mut outs = vec![false; covers.len()];
+                    outs[oi] = true;
+                    terms.push((cube, outs));
+                }
+            }
+        }
+    }
+    s.push_str(&format!(".p {}\n", terms.len()));
+    for (cube, outs) in terms {
+        let outstr: String = outs.iter().map(|&b| if b { '1' } else { '~' }).collect();
+        s.push_str(&format!("{cube} {outstr}\n"));
+    }
+    s.push_str(".e\n");
+    s
+}
+
+/// Parses PLA text into per-output covers.
+///
+/// # Errors
+///
+/// Returns [`LogicError::IndexOutOfRange`] for malformed lines (the index
+/// reported is the 1-based line number).
+pub fn from_pla(text: &str) -> Result<Vec<Cover>, LogicError> {
+    let mut ni: Option<usize> = None;
+    let mut no: Option<usize> = None;
+    let mut covers: Vec<Cover> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = || LogicError::IndexOutOfRange {
+            index: lineno + 1,
+            bound: usize::MAX,
+        };
+        if let Some(rest) = line.strip_prefix(".i ") {
+            ni = Some(rest.trim().parse().map_err(|_| bad())?);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".o ") {
+            let n: usize = rest.trim().parse().map_err(|_| bad())?;
+            no = Some(n);
+            continue;
+        }
+        if line.starts_with(".p") || line.starts_with(".e") || line.starts_with(".ilb")
+            || line.starts_with(".ob")
+        {
+            continue;
+        }
+        let (ni, no) = (ni.ok_or_else(bad)?, no.ok_or_else(bad)?);
+        if covers.is_empty() {
+            covers = vec![Cover::empty(ni); no];
+        }
+        let mut parts = line.split_whitespace();
+        let inp = parts.next().ok_or_else(bad)?;
+        let out = parts.next().ok_or_else(bad)?;
+        if inp.len() != ni || out.len() != no {
+            return Err(bad());
+        }
+        let mut value = 0u64;
+        let mut care = 0u64;
+        // PLA prints MSB first; our bit 0 is the least significant.
+        for (pos, ch) in inp.chars().enumerate() {
+            let bit = ni - 1 - pos;
+            match ch {
+                '1' => {
+                    value |= 1 << bit;
+                    care |= 1 << bit;
+                }
+                '0' => care |= 1 << bit,
+                '-' | '~' => {}
+                _ => return Err(bad()),
+            }
+        }
+        let cube = Cube::new(ni, value, care);
+        for (oi, ch) in out.chars().enumerate() {
+            match ch {
+                '1' | '4' => covers[oi].push(cube),
+                '0' | '~' | '-' | '2' => {}
+                _ => return Err(bad()),
+            }
+        }
+    }
+    if covers.is_empty() {
+        if let (Some(ni), Some(no)) = (ni, no) {
+            covers = vec![Cover::empty(ni); no];
+        }
+    }
+    Ok(covers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    #[test]
+    fn round_trip() {
+        let tts: Vec<TruthTable> = (0..3)
+            .map(|i| TruthTable::from_fn(4, move |m| (m * 7 + i) % 3 == 0))
+            .collect();
+        let covers: Vec<Cover> = tts
+            .iter()
+            .map(|t| crate::espresso::minimize_tt(t, None))
+            .collect();
+        let text = to_pla(&covers);
+        assert!(text.contains(".i 4"));
+        assert!(text.contains(".o 3"));
+        let back = from_pla(&text).unwrap();
+        assert_eq!(back.len(), 3);
+        for (c, tt) in back.iter().zip(&tts) {
+            assert_eq!(&c.to_truth_table(4), tt);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_pla() {
+        let text = "# xor\n.i 2\n.o 1\n.p 2\n01 1\n10 1\n.e\n";
+        let covers = from_pla(text).unwrap();
+        assert_eq!(covers.len(), 1);
+        let tt = covers[0].to_truth_table(2);
+        assert_eq!(tt, TruthTable::from_fn(2, |m| m == 1 || m == 2));
+    }
+
+    #[test]
+    fn bit_order_is_msb_first() {
+        // "10 1" means var1=1, var0=0.
+        let covers = from_pla(".i 2\n.o 1\n10 1\n").unwrap();
+        assert!(covers[0].eval(0b10));
+        assert!(!covers[0].eval(0b01));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_number() {
+        let e = from_pla(".i 2\n.o 1\n1 1\n").unwrap_err();
+        assert!(matches!(e, LogicError::IndexOutOfRange { index: 3, .. }));
+        let e = from_pla("01 1\n").unwrap_err();
+        assert!(matches!(e, LogicError::IndexOutOfRange { index: 1, .. }));
+    }
+
+    #[test]
+    fn shared_terms_merge() {
+        let a = Cover::from_cubes(2, [Cube::new(2, 0b11, 0b11)]);
+        let b = Cover::from_cubes(2, [Cube::new(2, 0b11, 0b11)]);
+        let text = to_pla(&[a, b]);
+        assert!(text.contains(".p 1"), "{text}");
+        assert!(text.contains("11 11"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Complete single-output boolean functions.
+
+use crate::{BitVec, LogicError, MAX_TT_INPUTS};
+
+/// A complete truth table for a boolean function of `inputs` variables.
+///
+/// Minterm `m` assigns variable `i` the value of bit `i` of `m` (variable 0
+/// is the least significant address bit).
+///
+/// # Examples
+///
+/// ```
+/// use synthir_logic::TruthTable;
+///
+/// let xor = TruthTable::from_fn(2, |m| (m.count_ones() % 2) == 1);
+/// assert!(xor.eval(0b01));
+/// assert!(!xor.eval(0b11));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    inputs: usize,
+    bits: BitVec,
+}
+
+impl TruthTable {
+    /// Builds a truth table by evaluating `f` on every minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > MAX_TT_INPUTS`.
+    pub fn from_fn(inputs: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        assert!(
+            inputs <= MAX_TT_INPUTS,
+            "truth table over {inputs} inputs exceeds maximum {MAX_TT_INPUTS}"
+        );
+        TruthTable {
+            inputs,
+            bits: BitVec::from_fn(1 << inputs, &mut f),
+        }
+    }
+
+    /// Fallible variant of [`TruthTable::from_fn`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyVariables`] if `inputs > MAX_TT_INPUTS`.
+    pub fn try_from_fn(
+        inputs: usize,
+        f: impl FnMut(usize) -> bool,
+    ) -> Result<Self, LogicError> {
+        if inputs > MAX_TT_INPUTS {
+            return Err(LogicError::TooManyVariables {
+                requested: inputs,
+                max: MAX_TT_INPUTS,
+            });
+        }
+        Ok(TruthTable::from_fn(inputs, f))
+    }
+
+    /// The constant-false function of `inputs` variables.
+    pub fn constant(inputs: usize, value: bool) -> Self {
+        TruthTable::from_fn(inputs, |_| value)
+    }
+
+    /// The projection onto variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= inputs`.
+    pub fn variable(inputs: usize, var: usize) -> Self {
+        assert!(var < inputs, "variable {var} out of range ({inputs})");
+        TruthTable::from_fn(inputs, |m| m >> var & 1 != 0)
+    }
+
+    /// Builds a truth table from an explicit output column
+    /// (`bits.len() == 2^inputs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not `2^inputs`.
+    pub fn from_bits(inputs: usize, bits: BitVec) -> Self {
+        assert_eq!(bits.len(), 1usize << inputs, "truth table length mismatch");
+        TruthTable { inputs, bits }
+    }
+
+    /// Number of input variables.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of minterms (`2^inputs`).
+    pub fn num_minterms(&self) -> usize {
+        1 << self.inputs
+    }
+
+    /// Evaluates the function on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^inputs`.
+    pub fn eval(&self, m: usize) -> bool {
+        self.bits.get(m)
+    }
+
+    /// Underlying output column.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Number of minterms that evaluate to one.
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Whether the function is constant, and its value if so.
+    pub fn as_constant(&self) -> Option<bool> {
+        if self.bits.all_zeros() {
+            Some(false)
+        } else if self.bits.all_ones() {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// The positive/negative cofactor with respect to variable `var`.
+    ///
+    /// The returned table still ranges over the same variable numbering, but
+    /// no longer depends on `var`.
+    pub fn cofactor(&self, var: usize, value: bool) -> TruthTable {
+        assert!(var < self.inputs, "variable out of range");
+        TruthTable::from_fn(self.inputs, |m| {
+            let m = if value { m | (1 << var) } else { m & !(1 << var) };
+            self.eval(m)
+        })
+    }
+
+    /// Whether the function depends on variable `var`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor(var, false) != self.cofactor(var, true)
+    }
+
+    /// The set of variables the function actually depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.inputs).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Pointwise AND of two functions over the same variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input counts differ.
+    pub fn and(&self, other: &TruthTable) -> TruthTable {
+        assert_eq!(self.inputs, other.inputs);
+        let mut bits = self.bits.clone();
+        bits.and_assign(&other.bits);
+        TruthTable::from_bits(self.inputs, bits)
+    }
+
+    /// Pointwise OR of two functions over the same variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input counts differ.
+    pub fn or(&self, other: &TruthTable) -> TruthTable {
+        assert_eq!(self.inputs, other.inputs);
+        let mut bits = self.bits.clone();
+        bits.or_assign(&other.bits);
+        TruthTable::from_bits(self.inputs, bits)
+    }
+
+    /// Pointwise XOR of two functions over the same variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input counts differ.
+    pub fn xor(&self, other: &TruthTable) -> TruthTable {
+        assert_eq!(self.inputs, other.inputs);
+        let mut bits = self.bits.clone();
+        bits.xor_assign(&other.bits);
+        TruthTable::from_bits(self.inputs, bits)
+    }
+
+    /// The complement of the function.
+    pub fn not(&self) -> TruthTable {
+        TruthTable::from_bits(self.inputs, self.bits.to_not())
+    }
+
+    /// Iterator over the minterms where the function is one.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter_ones()
+    }
+}
+
+impl std::fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TruthTable({} vars, {:?})", self.inputs, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_variables() {
+        let t = TruthTable::constant(3, true);
+        assert_eq!(t.as_constant(), Some(true));
+        let f = TruthTable::constant(3, false);
+        assert_eq!(f.as_constant(), Some(false));
+        let v1 = TruthTable::variable(3, 1);
+        assert_eq!(v1.as_constant(), None);
+        assert!(v1.eval(0b010));
+        assert!(!v1.eval(0b101));
+        assert_eq!(v1.support(), vec![1]);
+    }
+
+    #[test]
+    fn cofactor_removes_dependence() {
+        let f = TruthTable::from_fn(3, |m| (m & 1 != 0) && (m & 4 != 0));
+        assert!(f.depends_on(0));
+        assert!(!f.depends_on(1));
+        assert!(f.depends_on(2));
+        let c = f.cofactor(0, true);
+        assert!(!c.depends_on(0));
+        // f with a=1 is just c (var 2).
+        assert_eq!(c, TruthTable::variable(3, 2));
+        let c0 = f.cofactor(0, false);
+        assert_eq!(c0.as_constant(), Some(false));
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = TruthTable::variable(2, 0);
+        let b = TruthTable::variable(2, 1);
+        let and = a.and(&b);
+        assert_eq!(and.count_ones(), 1);
+        assert!(and.eval(0b11));
+        let or = a.or(&b);
+        assert_eq!(or.count_ones(), 3);
+        let xor = a.xor(&b);
+        assert_eq!(xor.count_ones(), 2);
+        // De Morgan.
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+    }
+
+    #[test]
+    fn try_from_fn_rejects_large() {
+        let r = TruthTable::try_from_fn(MAX_TT_INPUTS + 1, |_| false);
+        assert!(matches!(r, Err(LogicError::TooManyVariables { .. })));
+    }
+
+    #[test]
+    fn iter_ones_is_sound() {
+        let f = TruthTable::from_fn(4, |m| m % 5 == 0);
+        let ones: Vec<usize> = f.iter_ones().collect();
+        assert_eq!(ones, vec![0, 5, 10, 15]);
+    }
+
+    #[test]
+    fn support_of_parity_is_all_vars() {
+        let f = TruthTable::from_fn(5, |m| m.count_ones() % 2 == 1);
+        assert_eq!(f.support().len(), 5);
+    }
+}

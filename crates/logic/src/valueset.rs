@@ -1,0 +1,326 @@
+//! Value sets: the "state propagation and folding" abstract domain.
+//!
+//! The paper formalizes the key optimization property as follows: an `n`-bit
+//! signal `y` has `k = 2^n` possible states in a physical design, but if the
+//! design context restricts it (a one-hot bus, a sparsely-programmed
+//! microcode field, a state register with few reachable encodings), then
+//! `k < 2^n`, and downstream logic can be evaluated over just those `k`
+//! values. Constant propagation is the `k = 1` special case.
+//!
+//! [`ValueSet`] is that domain: an explicit, ordered, deduplicated set of
+//! up-to-128-bit values a signal group may take, or [`ValueSet::All`] when
+//! nothing is known.
+
+use std::collections::BTreeSet;
+
+/// The set of values an `n`-bit signal group is known to take (`n <= 128`).
+///
+/// # Examples
+///
+/// ```
+/// use synthir_logic::ValueSet;
+///
+/// let onehot = ValueSet::one_hot(4);
+/// assert_eq!(onehot.len(), Some(4));
+/// assert!(onehot.contains(0b0100));
+/// assert!(!onehot.contains(0b0110));
+/// assert!(onehot.is_one_hot());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ValueSet {
+    /// Nothing is known: the signal may take all `2^n` values.
+    All {
+        /// Signal width in bits.
+        width: u32,
+    },
+    /// The signal takes only the listed values.
+    Values {
+        /// Signal width in bits.
+        width: u32,
+        /// The possible values (each `< 2^width`).
+        values: BTreeSet<u128>,
+    },
+}
+
+impl ValueSet {
+    /// The unconstrained set over `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 128`.
+    pub fn all(width: u32) -> Self {
+        assert!(width <= 128, "value sets support at most 128 bits");
+        ValueSet::All { width }
+    }
+
+    /// A singleton set (a known constant: the `k = 1` case).
+    pub fn constant(width: u32, value: u128) -> Self {
+        Self::from_values(width, [value])
+    }
+
+    /// Builds a set from explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 128` or any value needs more than `width` bits.
+    pub fn from_values(width: u32, values: impl IntoIterator<Item = u128>) -> Self {
+        assert!(width <= 128, "value sets support at most 128 bits");
+        let mask = Self::mask(width);
+        let values: BTreeSet<u128> = values.into_iter().collect();
+        for &v in &values {
+            assert!(v & !mask == 0, "value {v:#x} exceeds width {width}");
+        }
+        ValueSet::Values { width, values }
+    }
+
+    /// The one-hot set `{1, 2, 4, ..., 2^(width-1)}` — the paper's running
+    /// example (`k = n`).
+    pub fn one_hot(width: u32) -> Self {
+        Self::from_values(width, (0..width).map(|i| 1u128 << i))
+    }
+
+    /// The contiguous range `0..bound` (e.g. a microprogram counter that
+    /// never exceeds the program length).
+    pub fn range(width: u32, bound: u128) -> Self {
+        Self::from_values(width, 0..bound)
+    }
+
+    fn mask(width: u32) -> u128 {
+        if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        }
+    }
+
+    /// Signal width in bits.
+    pub fn width(&self) -> u32 {
+        match self {
+            ValueSet::All { width } | ValueSet::Values { width, .. } => *width,
+        }
+    }
+
+    /// Number of values, or `None` for [`ValueSet::All`].
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            ValueSet::All { .. } => None,
+            ValueSet::Values { values, .. } => Some(values.len()),
+        }
+    }
+
+    /// Whether the set is the empty set (an unreachable signal).
+    pub fn is_empty(&self) -> bool {
+        matches!(self, ValueSet::Values { values, .. } if values.is_empty())
+    }
+
+    /// Whether the set constrains the signal at all.
+    pub fn is_constrained(&self) -> bool {
+        matches!(self, ValueSet::Values { .. })
+    }
+
+    /// Whether value `v` may occur.
+    pub fn contains(&self, v: u128) -> bool {
+        match self {
+            ValueSet::All { width } => v & !Self::mask(*width) == 0,
+            ValueSet::Values { values, .. } => values.contains(&v),
+        }
+    }
+
+    /// The constant value if `k = 1`.
+    pub fn as_constant(&self) -> Option<u128> {
+        match self {
+            ValueSet::Values { values, .. } if values.len() == 1 => {
+                values.iter().next().copied()
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether every value has exactly one bit set (the set may be a strict
+    /// subset of the full one-hot set).
+    pub fn is_one_hot(&self) -> bool {
+        match self {
+            ValueSet::All { width } => *width == 1,
+            ValueSet::Values { values, .. } => {
+                !values.is_empty() && values.iter().all(|v| v.count_ones() == 1)
+            }
+        }
+    }
+
+    /// Iterator over the explicit values (`None` for [`ValueSet::All`] wider
+    /// than 20 bits; for narrow `All` sets the full range is enumerated).
+    pub fn iter_values(&self) -> Option<Box<dyn Iterator<Item = u128> + '_>> {
+        match self {
+            ValueSet::All { width } if *width <= 20 => {
+                Some(Box::new(0..(1u128 << *width)))
+            }
+            ValueSet::All { .. } => None,
+            ValueSet::Values { values, .. } => Some(Box::new(values.iter().copied())),
+        }
+    }
+
+    /// The image of the set under a function (e.g. the value set of a
+    /// downstream signal computed from this one).
+    ///
+    /// Returns [`ValueSet::All`] when this set cannot be enumerated.
+    pub fn map(&self, out_width: u32, f: impl FnMut(u128) -> u128) -> ValueSet {
+        match self.iter_values() {
+            None => ValueSet::all(out_width),
+            Some(it) => {
+                let mut f = f;
+                ValueSet::from_values(out_width, it.map(&mut f))
+            }
+        }
+    }
+
+    /// The union of two sets of equal width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn union(&self, other: &ValueSet) -> ValueSet {
+        assert_eq!(self.width(), other.width(), "value set width mismatch");
+        match (self, other) {
+            (ValueSet::All { width }, _) | (_, ValueSet::All { width }) => {
+                ValueSet::all(*width)
+            }
+            (
+                ValueSet::Values { width, values: a },
+                ValueSet::Values { values: b, .. },
+            ) => ValueSet::Values {
+                width: *width,
+                values: a.union(b).copied().collect(),
+            },
+        }
+    }
+
+    /// Restricts the set to at most `max_k` values, widening to
+    /// [`ValueSet::All`] beyond that. This models the synthesis tool's
+    /// effort limit on state annotation (the paper observes manual
+    /// annotation is effective for subfields of up to 32 bits).
+    pub fn widen(&self, max_k: usize) -> ValueSet {
+        match self.len() {
+            Some(k) if k <= max_k => self.clone(),
+            _ => ValueSet::all(self.width()),
+        }
+    }
+
+    /// The value of bit `bit` if it is the same across all values.
+    pub fn constant_bit(&self, bit: u32) -> Option<bool> {
+        let mut it = self.iter_values()?;
+        let first = (it.next()? >> bit) & 1 != 0;
+        for v in it {
+            if ((v >> bit) & 1 != 0) != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+}
+
+impl std::fmt::Display for ValueSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueSet::All { width } => write!(f, "all[{width}]"),
+            ValueSet::Values { width, values } => {
+                write!(f, "{{")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:#x}")?;
+                }
+                write!(f, "}}[{width}]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_properties() {
+        let s = ValueSet::one_hot(8);
+        assert_eq!(s.len(), Some(8));
+        assert!(s.is_one_hot());
+        assert!(s.contains(0x80));
+        assert!(!s.contains(0x81));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn constant_detection() {
+        let s = ValueSet::constant(16, 0xBEEF);
+        assert_eq!(s.as_constant(), Some(0xBEEF));
+        assert_eq!(ValueSet::one_hot(4).as_constant(), None);
+        assert_eq!(ValueSet::all(4).as_constant(), None);
+    }
+
+    #[test]
+    fn map_computes_image() {
+        // Ones-counter over a one-hot bus: the paper's example — the output
+        // is the constant 1.
+        let onehot = ValueSet::one_hot(8);
+        let ones = onehot.map(4, |v| v.count_ones() as u128);
+        assert_eq!(ones.as_constant(), Some(1));
+    }
+
+    #[test]
+    fn map_of_all_is_all() {
+        let s = ValueSet::all(64);
+        let m = s.map(4, |v| v & 0xF);
+        assert!(!m.is_constrained());
+    }
+
+    #[test]
+    fn narrow_all_is_enumerable() {
+        let s = ValueSet::all(3);
+        let m = s.map(1, |v| u128::from(v == 7));
+        // Not constant: both 0 and 1 occur.
+        assert_eq!(m.as_constant(), None);
+        assert_eq!(m.len(), Some(2));
+    }
+
+    #[test]
+    fn union_and_widen() {
+        let a = ValueSet::from_values(4, [1, 2]);
+        let b = ValueSet::from_values(4, [2, 3]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), Some(3));
+        assert!(u.widen(3).is_constrained());
+        assert!(!u.widen(2).is_constrained());
+        let all = ValueSet::all(4);
+        assert!(!a.union(&all).is_constrained());
+    }
+
+    #[test]
+    fn constant_bit() {
+        let s = ValueSet::from_values(4, [0b1010, 0b1000]);
+        assert_eq!(s.constant_bit(3), Some(true));
+        assert_eq!(s.constant_bit(0), Some(false));
+        assert_eq!(s.constant_bit(1), None);
+    }
+
+    #[test]
+    fn range_set() {
+        let s = ValueSet::range(8, 5);
+        assert_eq!(s.len(), Some(5));
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn oversized_value_panics() {
+        ValueSet::from_values(4, [16]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ValueSet::all(8).to_string(), "all[8]");
+        let s = ValueSet::from_values(4, [1, 2]).to_string();
+        assert!(s.contains("0x1"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests on the boolean kernel's invariants.
+
+use proptest::prelude::*;
+use synthir_logic::espresso::{minimize, EspressoOptions};
+use synthir_logic::{Bdd, BitVec, Cover, Cube, TruthTable, ValueSet};
+
+/// An arbitrary truth table over `n` variables, from a random u64 seed.
+fn tt_from_seed(n: usize, seed: u64) -> TruthTable {
+    TruthTable::from_fn(n, |m| {
+        let h = (m as u64 + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ seed)
+            .rotate_left((seed % 61) as u32)
+            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h >> 62 & 1 != 0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitvec_double_negation(len in 1usize..200, seed in any::<u64>()) {
+        let bv = BitVec::from_fn(len, |i| (seed >> (i % 64)) & 1 != 0);
+        let mut twice = bv.clone();
+        twice.not_assign();
+        twice.not_assign();
+        prop_assert_eq!(twice, bv);
+    }
+
+    #[test]
+    fn bitvec_demorgan(len in 1usize..130, a in any::<u64>(), b in any::<u64>()) {
+        let x = BitVec::from_fn(len, |i| (a >> (i % 64)) & 1 != 0);
+        let y = BitVec::from_fn(len, |i| (b.rotate_left(i as u32 % 64)) & 1 != 0);
+        let mut and_then_not = x.clone();
+        and_then_not.and_assign(&y);
+        and_then_not.not_assign();
+        let mut nx = x.clone();
+        nx.not_assign();
+        let mut ny = y.clone();
+        ny.not_assign();
+        let mut or_of_nots = nx;
+        or_of_nots.or_assign(&ny);
+        prop_assert_eq!(and_then_not, or_of_nots);
+    }
+
+    #[test]
+    fn espresso_preserves_function(n in 2usize..7, seed in any::<u64>()) {
+        let tt = tt_from_seed(n, seed);
+        let min = minimize(
+            &Cover::from_truth_table(&tt),
+            None,
+            &EspressoOptions::default(),
+        );
+        prop_assert_eq!(min.to_truth_table(n), tt);
+    }
+
+    #[test]
+    fn espresso_never_grows_the_cover(n in 2usize..6, seed in any::<u64>()) {
+        let tt = tt_from_seed(n, seed);
+        let start = Cover::from_truth_table(&tt);
+        let min = minimize(&start, None, &EspressoOptions::default());
+        prop_assert!(min.cube_count() <= start.cube_count().max(1));
+    }
+
+    #[test]
+    fn espresso_respects_dont_cares(n in 2usize..6, seed in any::<u64>(), dseed in any::<u64>()) {
+        let on = tt_from_seed(n, seed);
+        let dc_raw = tt_from_seed(n, dseed);
+        // DC must not overlap ON.
+        let dc = TruthTable::from_fn(n, |m| dc_raw.eval(m) && !on.eval(m));
+        let min = minimize(
+            &Cover::from_truth_table(&on),
+            Some(&Cover::from_truth_table(&dc)),
+            &EspressoOptions::default(),
+        );
+        for m in 0..on.num_minterms() {
+            if !dc.eval(m) {
+                prop_assert_eq!(min.eval(m as u64), on.eval(m), "minterm {}", m);
+            }
+        }
+    }
+
+    #[test]
+    fn cover_complement_is_involutive_on_semantics(n in 1usize..6, seed in any::<u64>()) {
+        let tt = tt_from_seed(n, seed);
+        let c = Cover::from_truth_table(&tt);
+        let cc = c.complement().complement();
+        prop_assert_eq!(cc.to_truth_table(n), tt);
+    }
+
+    #[test]
+    fn cube_intersection_is_conjunction(
+        v1 in any::<u64>(), c1 in any::<u64>(), v2 in any::<u64>(), c2 in any::<u64>()
+    ) {
+        let a = Cube::new(8, v1, c1);
+        let b = Cube::new(8, v2, c2);
+        match a.intersect(&b) {
+            Some(i) => {
+                for m in 0..256u64 {
+                    prop_assert_eq!(
+                        i.contains_minterm(m),
+                        a.contains_minterm(m) && b.contains_minterm(m)
+                    );
+                }
+            }
+            None => {
+                for m in 0..256u64 {
+                    prop_assert!(!(a.contains_minterm(m) && b.contains_minterm(m)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bdd_matches_truth_table(n in 1usize..7, seed in any::<u64>()) {
+        let tt = tt_from_seed(n, seed);
+        let mut bdd = Bdd::new();
+        let f = bdd.from_truth_table(&tt);
+        for m in 0..tt.num_minterms() {
+            prop_assert_eq!(bdd.eval(f, m as u64), tt.eval(m));
+        }
+        prop_assert_eq!(bdd.sat_count(f, n as u32), tt.count_ones() as u128);
+    }
+
+    #[test]
+    fn bdd_canonical_for_equal_functions(n in 1usize..6, seed in any::<u64>()) {
+        let tt = tt_from_seed(n, seed);
+        let mut bdd = Bdd::new();
+        let f = bdd.from_truth_table(&tt);
+        // Build the same function through a different route: OR of minterms.
+        let mut g = bdd.constant(false);
+        for m in tt.iter_ones() {
+            let mut term = bdd.constant(true);
+            for v in 0..n {
+                let var = bdd.var(v as u32);
+                let lit = if m >> v & 1 != 0 { var } else { bdd.not(var) };
+                term = bdd.and(term, lit);
+            }
+            g = bdd.or(g, term);
+        }
+        prop_assert_eq!(f, g);
+    }
+
+    #[test]
+    fn valueset_map_is_image(width in 1u32..10, k in 1usize..12, seed in any::<u64>()) {
+        let values: Vec<u128> = (0..k)
+            .map(|i| ((seed.rotate_left(i as u32 * 7) as u128) & ((1 << width) - 1)))
+            .collect();
+        let s = ValueSet::from_values(width, values.clone());
+        let mapped = s.map(width, |v| (v ^ 0b1) & ((1 << width) - 1));
+        for v in values {
+            prop_assert!(mapped.contains((v ^ 0b1) & ((1 << width) - 1)));
+        }
+    }
+
+    #[test]
+    fn valueset_widen_monotone(width in 1u32..8, k in 1usize..40) {
+        let s = ValueSet::from_values(
+            width,
+            (0..k as u128).map(|v| v & ((1 << width) - 1)),
+        );
+        let w = s.widen(16);
+        match (s.len(), w.len()) {
+            (Some(orig), Some(kept)) => prop_assert!(kept == orig && orig <= 16),
+            (Some(orig), None) => prop_assert!(orig > 16),
+            _ => prop_assert!(false, "widen of explicit set must stay explicit or go All"),
+        }
+    }
+}

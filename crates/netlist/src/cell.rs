@@ -1,0 +1,335 @@
+//! Gate kinds and their boolean semantics.
+
+/// Reset behaviour of a flip-flop, matching the three flavours the paper
+/// sweeps in its Fig. 8 experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ResetKind {
+    /// No reset pin: the flop powers up in an unknown state (modelled as the
+    /// declared init value for simulation purposes).
+    None,
+    /// Synchronous reset: reset is sampled on the clock edge.
+    Sync,
+    /// Asynchronous reset: reset forces the output level-sensitively.
+    Async,
+}
+
+impl std::fmt::Display for ResetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResetKind::None => write!(f, "none"),
+            ResetKind::Sync => write!(f, "sync"),
+            ResetKind::Async => write!(f, "async"),
+        }
+    }
+}
+
+/// The primitive gate kinds of the synthetic standard-cell library.
+///
+/// Input ordering conventions:
+/// * `Mux2`: `[sel, d0, d1]`, output `sel ? d1 : d0`;
+/// * `Aoi21`: `[a, b, c]`, output `!((a & b) | c)`;
+/// * `Oai21`: `[a, b, c]`, output `!((a | b) & c)`;
+/// * `Aoi22`: `[a, b, c, d]`, output `!((a & b) | (c & d))`;
+/// * `Oai22`: `[a, b, c, d]`, output `!((a | b) & (c | d))`;
+/// * `Dff`: `[d]` (plus an implicit clock), or `[d, rst]` for resettable
+///   flavours.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Constant logic zero (a tie-low cell; zero area).
+    Const0,
+    /// Constant logic one (a tie-high cell; zero area).
+    Const1,
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 3-input AND.
+    And3,
+    /// 3-input OR.
+    Or3,
+    /// 3-input NAND.
+    Nand3,
+    /// 3-input NOR.
+    Nor3,
+    /// 4-input AND.
+    And4,
+    /// 4-input OR.
+    Or4,
+    /// 4-input NAND.
+    Nand4,
+    /// 4-input NOR.
+    Nor4,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// AND-OR-invert 2-1.
+    Aoi21,
+    /// OR-AND-invert 2-1.
+    Oai21,
+    /// AND-OR-invert 2-2.
+    Aoi22,
+    /// OR-AND-invert 2-2.
+    Oai22,
+    /// D flip-flop with the given reset flavour and reset/init value.
+    Dff {
+        /// Reset behaviour.
+        reset: ResetKind,
+        /// Reset (and power-up) value.
+        init: bool,
+    },
+}
+
+impl GateKind {
+    /// Number of data inputs the gate takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Inv => 1,
+            GateKind::And2
+            | GateKind::Or2
+            | GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::Xor2
+            | GateKind::Xnor2 => 2,
+            GateKind::And3
+            | GateKind::Or3
+            | GateKind::Nand3
+            | GateKind::Nor3
+            | GateKind::Mux2
+            | GateKind::Aoi21
+            | GateKind::Oai21 => 3,
+            GateKind::And4 | GateKind::Or4 | GateKind::Nand4 | GateKind::Nor4 => 4,
+            GateKind::Aoi22 | GateKind::Oai22 => 4,
+            GateKind::Dff { reset, .. } => match reset {
+                ResetKind::None => 1,
+                _ => 2,
+            },
+        }
+    }
+
+    /// Whether the gate is a sequential element.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, GateKind::Dff { .. })
+    }
+
+    /// Whether the gate is a constant source.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// Evaluates the combinational function of the gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential gates or on arity mismatch.
+    pub fn eval(&self, ins: &[bool]) -> bool {
+        assert_eq!(ins.len(), self.arity(), "arity mismatch for {self:?}");
+        match self {
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => ins[0],
+            GateKind::Inv => !ins[0],
+            GateKind::And2 => ins[0] && ins[1],
+            GateKind::Or2 => ins[0] || ins[1],
+            GateKind::Nand2 => !(ins[0] && ins[1]),
+            GateKind::Nor2 => !(ins[0] || ins[1]),
+            GateKind::Xor2 => ins[0] ^ ins[1],
+            GateKind::Xnor2 => !(ins[0] ^ ins[1]),
+            GateKind::And3 => ins[0] && ins[1] && ins[2],
+            GateKind::Or3 => ins[0] || ins[1] || ins[2],
+            GateKind::Nand3 => !(ins[0] && ins[1] && ins[2]),
+            GateKind::Nor3 => !(ins[0] || ins[1] || ins[2]),
+            GateKind::And4 => ins.iter().all(|&b| b),
+            GateKind::Or4 => ins.iter().any(|&b| b),
+            GateKind::Nand4 => !ins.iter().all(|&b| b),
+            GateKind::Nor4 => !ins.iter().any(|&b| b),
+            GateKind::Mux2 => {
+                if ins[0] {
+                    ins[2]
+                } else {
+                    ins[1]
+                }
+            }
+            GateKind::Aoi21 => !((ins[0] && ins[1]) || ins[2]),
+            GateKind::Oai21 => !((ins[0] || ins[1]) && ins[2]),
+            GateKind::Aoi22 => !((ins[0] && ins[1]) || (ins[2] && ins[3])),
+            GateKind::Oai22 => !((ins[0] || ins[1]) && (ins[2] || ins[3])),
+            GateKind::Dff { .. } => panic!("cannot combinationally evaluate a flop"),
+        }
+    }
+
+    /// Bit-parallel evaluation over 64 patterns at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential gates or on arity mismatch.
+    pub fn eval_words(&self, ins: &[u64]) -> u64 {
+        assert_eq!(ins.len(), self.arity(), "arity mismatch for {self:?}");
+        match self {
+            GateKind::Const0 => 0,
+            GateKind::Const1 => u64::MAX,
+            GateKind::Buf => ins[0],
+            GateKind::Inv => !ins[0],
+            GateKind::And2 => ins[0] & ins[1],
+            GateKind::Or2 => ins[0] | ins[1],
+            GateKind::Nand2 => !(ins[0] & ins[1]),
+            GateKind::Nor2 => !(ins[0] | ins[1]),
+            GateKind::Xor2 => ins[0] ^ ins[1],
+            GateKind::Xnor2 => !(ins[0] ^ ins[1]),
+            GateKind::And3 => ins[0] & ins[1] & ins[2],
+            GateKind::Or3 => ins[0] | ins[1] | ins[2],
+            GateKind::Nand3 => !(ins[0] & ins[1] & ins[2]),
+            GateKind::Nor3 => !(ins[0] | ins[1] | ins[2]),
+            GateKind::And4 => ins[0] & ins[1] & ins[2] & ins[3],
+            GateKind::Or4 => ins[0] | ins[1] | ins[2] | ins[3],
+            GateKind::Nand4 => !(ins[0] & ins[1] & ins[2] & ins[3]),
+            GateKind::Nor4 => !(ins[0] | ins[1] | ins[2] | ins[3]),
+            GateKind::Mux2 => (ins[0] & ins[2]) | (!ins[0] & ins[1]),
+            GateKind::Aoi21 => !((ins[0] & ins[1]) | ins[2]),
+            GateKind::Oai21 => !((ins[0] | ins[1]) & ins[2]),
+            GateKind::Aoi22 => !((ins[0] & ins[1]) | (ins[2] & ins[3])),
+            GateKind::Oai22 => !((ins[0] | ins[1]) & (ins[2] | ins[3])),
+            GateKind::Dff { .. } => panic!("cannot combinationally evaluate a flop"),
+        }
+    }
+
+    /// The library cell name for this kind.
+    pub fn cell_name(&self) -> String {
+        match self {
+            GateKind::Const0 => "TIELO".into(),
+            GateKind::Const1 => "TIEHI".into(),
+            GateKind::Buf => "BUF".into(),
+            GateKind::Inv => "INV".into(),
+            GateKind::And2 => "AND2".into(),
+            GateKind::Or2 => "OR2".into(),
+            GateKind::Nand2 => "NAND2".into(),
+            GateKind::Nor2 => "NOR2".into(),
+            GateKind::Xor2 => "XOR2".into(),
+            GateKind::Xnor2 => "XNOR2".into(),
+            GateKind::And3 => "AND3".into(),
+            GateKind::Or3 => "OR3".into(),
+            GateKind::Nand3 => "NAND3".into(),
+            GateKind::Nor3 => "NOR3".into(),
+            GateKind::And4 => "AND4".into(),
+            GateKind::Or4 => "OR4".into(),
+            GateKind::Nand4 => "NAND4".into(),
+            GateKind::Nor4 => "NOR4".into(),
+            GateKind::Mux2 => "MUX2".into(),
+            GateKind::Aoi21 => "AOI21".into(),
+            GateKind::Oai21 => "OAI21".into(),
+            GateKind::Aoi22 => "AOI22".into(),
+            GateKind::Oai22 => "OAI22".into(),
+            GateKind::Dff { reset, init } => {
+                let r = match reset {
+                    ResetKind::None => "",
+                    ResetKind::Sync => "S",
+                    ResetKind::Async => "R",
+                };
+                let i = if *init { "1" } else { "0" };
+                format!("DFF{r}{i}")
+            }
+        }
+    }
+
+    /// All combinational kinds (useful for exhaustive tests).
+    pub fn all_combinational() -> Vec<GateKind> {
+        use GateKind::*;
+        vec![
+            Const0, Const1, Buf, Inv, And2, Or2, Nand2, Nor2, Xor2, Xnor2, And3, Or3,
+            Nand3, Nor3, And4, Or4, Nand4, Nor4, Mux2, Aoi21, Oai21, Aoi22, Oai22,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_words_matches_eval() {
+        for kind in GateKind::all_combinational() {
+            let n = kind.arity();
+            for m in 0..1usize << n {
+                let ins: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+                let words: Vec<u64> = ins
+                    .iter()
+                    .map(|&b| if b { u64::MAX } else { 0 })
+                    .collect();
+                let scalar = kind.eval(&ins);
+                let word = kind.eval_words(&words);
+                assert_eq!(
+                    word,
+                    if scalar { u64::MAX } else { 0 },
+                    "{kind:?} at minterm {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arity_of_flops() {
+        let plain = GateKind::Dff {
+            reset: ResetKind::None,
+            init: false,
+        };
+        assert_eq!(plain.arity(), 1);
+        let sync = GateKind::Dff {
+            reset: ResetKind::Sync,
+            init: true,
+        };
+        assert_eq!(sync.arity(), 2);
+        assert!(sync.is_sequential());
+        assert!(!GateKind::Nand2.is_sequential());
+    }
+
+    #[test]
+    fn mux_semantics() {
+        // [sel, d0, d1]
+        assert!(!GateKind::Mux2.eval(&[false, false, true]));
+        assert!(GateKind::Mux2.eval(&[true, false, true]));
+        assert!(GateKind::Mux2.eval(&[false, true, false]));
+    }
+
+    #[test]
+    fn aoi_oai_semantics() {
+        // Aoi21 = !((a&b)|c)
+        assert!(GateKind::Aoi21.eval(&[false, true, false]));
+        assert!(!GateKind::Aoi21.eval(&[true, true, false]));
+        assert!(!GateKind::Aoi21.eval(&[false, false, true]));
+        // Oai21 = !((a|b)&c)
+        assert!(GateKind::Oai21.eval(&[false, false, true]));
+        assert!(!GateKind::Oai21.eval(&[true, false, true]));
+        assert!(GateKind::Oai21.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn cell_names_unique() {
+        let mut names = std::collections::HashSet::new();
+        for k in GateKind::all_combinational() {
+            assert!(names.insert(k.cell_name()), "{k:?} name collides");
+        }
+        for reset in [ResetKind::None, ResetKind::Sync, ResetKind::Async] {
+            for init in [false, true] {
+                let k = GateKind::Dff { reset, init };
+                assert!(names.insert(k.cell_name()), "{k:?} name collides");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn eval_checks_arity() {
+        GateKind::And2.eval(&[true]);
+    }
+}

@@ -1,0 +1,164 @@
+//! The synthetic standard-cell library.
+//!
+//! The paper reports areas from a TSMC 90 nm library, which cannot be
+//! redistributed. [`Library::vt90`] is a synthetic library with the same
+//! *relative* cost structure (inverters cheapest, NAND/NOR cheaper than
+//! AND/OR, XOR and MUX expensive, flops an order of magnitude larger than
+//! simple gates) so that area ratios — the only quantity the paper's
+//! conclusions rest on — are preserved.
+
+use crate::cell::{GateKind, ResetKind};
+
+/// Area and delay of one library cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellSpec {
+    /// Cell area in µm².
+    pub area: f64,
+    /// Pin-to-output propagation delay in ns (clock-to-Q for flops).
+    pub delay: f64,
+}
+
+/// A technology library mapping [`GateKind`]s to [`CellSpec`]s.
+///
+/// # Examples
+///
+/// ```
+/// use synthir_netlist::{GateKind, Library};
+///
+/// let lib = Library::vt90();
+/// let inv = lib.cell(GateKind::Inv);
+/// let xor = lib.cell(GateKind::Xor2);
+/// assert!(xor.area > inv.area);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Library {
+    name: String,
+    /// Delay charged per fanout connection (crude wire-load model).
+    pub fanout_delay: f64,
+    /// Flop setup time in ns.
+    pub setup_time: f64,
+}
+
+impl Library {
+    /// The default synthetic 90 nm-class library.
+    pub fn vt90() -> Self {
+        Library {
+            name: "vt90".into(),
+            fanout_delay: 0.004,
+            setup_time: 0.06,
+        }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The area/delay of a gate kind.
+    pub fn cell(&self, kind: GateKind) -> CellSpec {
+        // Areas in µm² for a 90nm-class process (2.8 µm² per minimum gate
+        // equivalent), delays in ns.
+        let (area, delay) = match kind {
+            GateKind::Const0 | GateKind::Const1 => (0.0, 0.0),
+            GateKind::Buf => (2.8, 0.045),
+            GateKind::Inv => (2.1, 0.022),
+            GateKind::Nand2 => (2.8, 0.032),
+            GateKind::Nor2 => (2.8, 0.038),
+            GateKind::And2 => (3.5, 0.052),
+            GateKind::Or2 => (3.5, 0.058),
+            GateKind::Xor2 => (7.0, 0.075),
+            GateKind::Xnor2 => (7.0, 0.075),
+            GateKind::Nand3 => (3.5, 0.041),
+            GateKind::Nor3 => (3.5, 0.053),
+            GateKind::And3 => (4.2, 0.060),
+            GateKind::Or3 => (4.2, 0.068),
+            GateKind::Nand4 => (4.2, 0.050),
+            GateKind::Nor4 => (4.2, 0.066),
+            GateKind::And4 => (4.9, 0.068),
+            GateKind::Or4 => (4.9, 0.078),
+            GateKind::Mux2 => (6.3, 0.070),
+            GateKind::Aoi21 => (3.5, 0.045),
+            GateKind::Oai21 => (3.5, 0.047),
+            GateKind::Aoi22 => (4.2, 0.055),
+            GateKind::Oai22 => (4.2, 0.057),
+            GateKind::Dff { reset, .. } => match reset {
+                ResetKind::None => (15.4, 0.150),
+                ResetKind::Sync => (19.6, 0.155),
+                ResetKind::Async => (18.2, 0.152),
+            },
+        };
+        CellSpec { area, delay }
+    }
+
+    /// Area of a gate kind (convenience).
+    pub fn area(&self, kind: GateKind) -> f64 {
+        self.cell(kind).area
+    }
+
+    /// Delay of a gate kind (convenience).
+    pub fn delay(&self, kind: GateKind) -> f64 {
+        self.cell(kind).delay
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::vt90()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_cost_structure() {
+        let lib = Library::vt90();
+        // Inverter is the cheapest non-constant cell.
+        let inv = lib.area(GateKind::Inv);
+        for k in GateKind::all_combinational() {
+            if !k.is_constant() {
+                assert!(lib.area(k) >= inv, "{k:?} cheaper than INV");
+            }
+        }
+        // NAND cheaper than AND (the extra inverter).
+        assert!(lib.area(GateKind::Nand2) < lib.area(GateKind::And2));
+        // XOR is expensive.
+        assert!(lib.area(GateKind::Xor2) > lib.area(GateKind::Nand3));
+        // Flops dominate simple gates.
+        let dff = lib.area(GateKind::Dff {
+            reset: ResetKind::None,
+            init: false,
+        });
+        assert!(dff > 3.0 * lib.area(GateKind::Nand2));
+        // Resettable flops cost more than plain ones.
+        let sdff = lib.area(GateKind::Dff {
+            reset: ResetKind::Sync,
+            init: false,
+        });
+        let adff = lib.area(GateKind::Dff {
+            reset: ResetKind::Async,
+            init: false,
+        });
+        assert!(sdff > dff && adff > dff);
+    }
+
+    #[test]
+    fn constants_are_free() {
+        let lib = Library::vt90();
+        assert_eq!(lib.area(GateKind::Const0), 0.0);
+        assert_eq!(lib.area(GateKind::Const1), 0.0);
+    }
+
+    #[test]
+    fn delays_are_positive() {
+        let lib = Library::vt90();
+        for k in GateKind::all_combinational() {
+            if !k.is_constant() {
+                assert!(lib.delay(k) > 0.0);
+            }
+        }
+        assert!(lib.setup_time > 0.0);
+        assert!(lib.fanout_delay > 0.0);
+    }
+}

@@ -1,0 +1,602 @@
+//! The netlist graph structure.
+
+use crate::cell::GateKind;
+use crate::library::Library;
+use crate::report::AreaReport;
+use crate::NetlistError;
+use std::collections::HashMap;
+
+/// Identifier of a net (a single-bit wire).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// Identifier of a gate instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct GateId(pub u32);
+
+impl NetId {
+    /// The net's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GateId {
+    /// The gate's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single-output gate instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gate {
+    /// The gate kind.
+    pub kind: GateKind,
+    /// Input nets, in the order defined by [`GateKind`].
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+/// A named port bus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// The port's nets, least-significant bit first.
+    pub nets: Vec<NetId>,
+}
+
+/// A flat gate-level module.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    name: String,
+    net_names: Vec<Option<String>>,
+    gates: Vec<Option<Gate>>,
+    driver: Vec<Option<GateId>>,
+    inputs: Vec<Port>,
+    outputs: Vec<Port>,
+    const_nets: [Option<NetId>; 2],
+}
+
+impl Netlist {
+    /// Creates an empty netlist named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the module.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Creates a fresh anonymous net.
+    pub fn add_net(&mut self) -> NetId {
+        let id = NetId(self.net_names.len() as u32);
+        self.net_names.push(None);
+        self.driver.push(None);
+        id
+    }
+
+    /// Creates a fresh named net.
+    pub fn add_named_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_net();
+        self.net_names[id.index()] = Some(name.into());
+        id
+    }
+
+    /// The optional name of a net.
+    pub fn net_name(&self, net: NetId) -> Option<&str> {
+        self.net_names[net.index()].as_deref()
+    }
+
+    /// Number of nets ever created (including dangling ones).
+    pub fn num_nets(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Declares an input port bus of `width` bits; returns its nets
+    /// (LSB first).
+    pub fn add_input(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
+        let name = name.into();
+        let nets: Vec<NetId> = (0..width)
+            .map(|i| self.add_named_net(format!("{name}[{i}]")))
+            .collect();
+        self.inputs.push(Port {
+            name,
+            nets: nets.clone(),
+        });
+        nets
+    }
+
+    /// Declares an output port bus connected to existing nets (LSB first).
+    pub fn add_output(&mut self, name: impl Into<String>, nets: &[NetId]) {
+        self.outputs.push(Port {
+            name: name.into(),
+            nets: nets.to_vec(),
+        });
+    }
+
+    /// Input ports.
+    pub fn inputs(&self) -> &[Port] {
+        &self.inputs
+    }
+
+    /// Output ports.
+    pub fn outputs(&self) -> &[Port] {
+        &self.outputs
+    }
+
+    /// Looks up an input port by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] if no such input exists.
+    pub fn input(&self, name: &str) -> Result<&Port, NetlistError> {
+        self.inputs
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| NetlistError::UnknownPort { name: name.into() })
+    }
+
+    /// Looks up an output port by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] if no such output exists.
+    pub fn output(&self, name: &str) -> Result<&Port, NetlistError> {
+        self.outputs
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| NetlistError::UnknownPort { name: name.into() })
+    }
+
+    /// All primary-input nets in port order.
+    pub fn input_nets(&self) -> Vec<NetId> {
+        self.inputs.iter().flat_map(|p| p.nets.clone()).collect()
+    }
+
+    /// All primary-output nets in port order.
+    pub fn output_nets(&self) -> Vec<NetId> {
+        self.outputs.iter().flat_map(|p| p.nets.clone()).collect()
+    }
+
+    /// Adds a gate, creating and returning its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-arity mismatch.
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        self.try_add_gate(kind, inputs).expect("valid gate")
+    }
+
+    /// Adds a gate, creating and returning its output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if the number of inputs does
+    /// not match the gate kind.
+    pub fn try_add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        if inputs.len() != kind.arity() {
+            return Err(NetlistError::ArityMismatch {
+                kind,
+                got: inputs.len(),
+                expected: kind.arity(),
+            });
+        }
+        let output = self.add_net();
+        self.attach_gate(kind, inputs, output)?;
+        Ok(output)
+    }
+
+    /// Adds a gate driving an existing (so far undriven) net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] or
+    /// [`NetlistError::MultipleDrivers`].
+    pub fn attach_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<GateId, NetlistError> {
+        if inputs.len() != kind.arity() {
+            return Err(NetlistError::ArityMismatch {
+                kind,
+                got: inputs.len(),
+                expected: kind.arity(),
+            });
+        }
+        if self.driver[output.index()].is_some() {
+            return Err(NetlistError::MultipleDrivers { net: output });
+        }
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(Some(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        }));
+        self.driver[output.index()] = Some(id);
+        Ok(id)
+    }
+
+    /// The constant-zero net (created on first use).
+    pub fn const0(&mut self) -> NetId {
+        if let Some(n) = self.const_nets[0] {
+            return n;
+        }
+        let n = self.add_gate(GateKind::Const0, &[]);
+        self.const_nets[0] = Some(n);
+        n
+    }
+
+    /// The constant-one net (created on first use).
+    pub fn const1(&mut self) -> NetId {
+        if let Some(n) = self.const_nets[1] {
+            return n;
+        }
+        let n = self.add_gate(GateKind::Const1, &[]);
+        self.const_nets[1] = Some(n);
+        n
+    }
+
+    /// The constant net for `value`.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        if value {
+            self.const1()
+        } else {
+            self.const0()
+        }
+    }
+
+    /// Whether `net` is one of the cached constant nets, and its value.
+    pub fn as_constant(&self, net: NetId) -> Option<bool> {
+        match self.driver(net).map(|g| self.gate(g).kind) {
+            Some(GateKind::Const0) => Some(false),
+            Some(GateKind::Const1) => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The gate driving a net, if any.
+    pub fn driver(&self, net: NetId) -> Option<GateId> {
+        self.driver[net.index()]
+    }
+
+    /// A live gate by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate was removed.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        self.gates[id.index()].as_ref().expect("live gate")
+    }
+
+    /// Whether a gate id refers to a live gate.
+    pub fn is_live(&self, id: GateId) -> bool {
+        self.gates
+            .get(id.index())
+            .map(|g| g.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Iterator over live gates.
+    pub fn gates(&self) -> impl Iterator<Item = (GateId, &Gate)> + '_ {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (GateId(i as u32), g)))
+    }
+
+    /// Number of live gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Removes a gate, leaving its output net undriven.
+    pub fn remove_gate(&mut self, id: GateId) {
+        if let Some(g) = self.gates[id.index()].take() {
+            self.driver[g.output.index()] = None;
+            for (i, cn) in self.const_nets.iter_mut().enumerate() {
+                if *cn == Some(g.output) {
+                    debug_assert!(matches!(
+                        g.kind,
+                        GateKind::Const0 | GateKind::Const1
+                    ));
+                    let _ = i;
+                    *cn = None;
+                }
+            }
+        }
+    }
+
+    /// Rewires every use of `old` (gate inputs and output ports) to `new`.
+    /// The driver of `old`, if any, is left in place (and will be swept if
+    /// it becomes dead).
+    pub fn replace_net_uses(&mut self, old: NetId, new: NetId) {
+        if old == new {
+            return;
+        }
+        for g in self.gates.iter_mut().flatten() {
+            for inp in &mut g.inputs {
+                if *inp == old {
+                    *inp = new;
+                }
+            }
+        }
+        for p in &mut self.outputs {
+            for n in &mut p.nets {
+                if *n == old {
+                    *n = new;
+                }
+            }
+        }
+    }
+
+    /// Rewrites one gate in place (same output net, new kind/inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or if the gate is dead.
+    pub fn rewrite_gate(&mut self, id: GateId, kind: GateKind, inputs: &[NetId]) {
+        assert_eq!(inputs.len(), kind.arity(), "arity mismatch for {kind:?}");
+        let g = self.gates[id.index()].as_mut().expect("live gate");
+        g.kind = kind;
+        g.inputs = inputs.to_vec();
+    }
+
+    /// Per-net fanout: the live gates reading each net.
+    pub fn fanout_map(&self) -> Vec<Vec<GateId>> {
+        let mut fo = vec![Vec::new(); self.num_nets()];
+        for (id, g) in self.gates() {
+            for &inp in &g.inputs {
+                fo[inp.index()].push(id);
+            }
+        }
+        fo
+    }
+
+    /// Removes gates whose outputs transitively reach no output port.
+    /// Returns the number of gates removed.
+    pub fn sweep(&mut self) -> usize {
+        let mut live = vec![false; self.gates.len()];
+        let mut stack: Vec<GateId> = Vec::new();
+        for net in self.output_nets() {
+            if let Some(g) = self.driver(net) {
+                if !live[g.index()] {
+                    live[g.index()] = true;
+                    stack.push(g);
+                }
+            }
+        }
+        while let Some(g) = stack.pop() {
+            let inputs = self.gate(g).inputs.clone();
+            for inp in inputs {
+                if let Some(d) = self.driver(inp) {
+                    if !live[d.index()] {
+                        live[d.index()] = true;
+                        stack.push(d);
+                    }
+                }
+            }
+        }
+        let mut removed = 0;
+        for i in 0..self.gates.len() {
+            if self.gates[i].is_some() && !live[i] {
+                self.remove_gate(GateId(i as u32));
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Gate-count histogram by kind.
+    pub fn gate_histogram(&self) -> HashMap<GateKind, usize> {
+        let mut h = HashMap::new();
+        for (_, g) in self.gates() {
+            *h.entry(g.kind).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Computes the area report under a library.
+    pub fn area_report(&self, lib: &Library) -> AreaReport {
+        let mut comb = 0.0;
+        let mut seq = 0.0;
+        for (_, g) in self.gates() {
+            let a = lib.area(g.kind);
+            if g.kind.is_sequential() {
+                seq += a;
+            } else {
+                comb += a;
+            }
+        }
+        AreaReport {
+            combinational: comb,
+            sequential: seq,
+        }
+    }
+
+    /// Number of sequential elements.
+    pub fn flop_count(&self) -> usize {
+        self.gates().filter(|(_, g)| g.kind.is_sequential()).count()
+    }
+
+    /// Checks structural invariants: every gate's inputs exist, arity
+    /// matches, drivers are consistent, and the combinational part is
+    /// acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (id, g) in self.gates() {
+            if g.inputs.len() != g.kind.arity() {
+                return Err(NetlistError::ArityMismatch {
+                    kind: g.kind,
+                    got: g.inputs.len(),
+                    expected: g.kind.arity(),
+                });
+            }
+            if self.driver[g.output.index()] != Some(id) {
+                return Err(NetlistError::MultipleDrivers { net: g.output });
+            }
+        }
+        crate::topo::topological_order(self).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::ResetKind;
+
+    fn tiny() -> Netlist {
+        let mut nl = Netlist::new("tiny");
+        let a = nl.add_input("a", 1)[0];
+        let b = nl.add_input("b", 1)[0];
+        let y = nl.add_gate(GateKind::And2, &[a, b]);
+        nl.add_output("y", &[y]);
+        nl
+    }
+
+    #[test]
+    fn build_and_query() {
+        let nl = tiny();
+        assert_eq!(nl.num_gates(), 1);
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.output("y").unwrap().nets.len(), 1);
+        assert!(nl.output("z").is_err());
+        let y = nl.output_nets()[0];
+        let g = nl.driver(y).unwrap();
+        assert_eq!(nl.gate(g).kind, GateKind::And2);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 1)[0];
+        let r = nl.try_add_gate(GateKind::And2, &[a]);
+        assert!(matches!(r, Err(NetlistError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 1)[0];
+        let y = nl.add_gate(GateKind::Buf, &[a]);
+        let r = nl.attach_gate(GateKind::Inv, &[a], y);
+        assert!(matches!(r, Err(NetlistError::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn constants_are_cached() {
+        let mut nl = Netlist::new("t");
+        let c0 = nl.const0();
+        assert_eq!(nl.const0(), c0);
+        assert_eq!(nl.as_constant(c0), Some(false));
+        let c1 = nl.const1();
+        assert_eq!(nl.as_constant(c1), Some(true));
+        assert_eq!(nl.constant(true), c1);
+    }
+
+    #[test]
+    fn replace_net_uses_rewires() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 1)[0];
+        let b = nl.add_input("b", 1)[0];
+        let y = nl.add_gate(GateKind::And2, &[a, b]);
+        nl.add_output("y", &[y]);
+        let c1 = nl.const1();
+        nl.replace_net_uses(b, c1);
+        let g = nl.driver(y).unwrap();
+        assert_eq!(nl.gate(g).inputs[1], c1);
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic() {
+        let mut nl = tiny();
+        let a = nl.input("a").unwrap().nets[0];
+        // Dead inverter.
+        let _dead = nl.add_gate(GateKind::Inv, &[a]);
+        assert_eq!(nl.num_gates(), 2);
+        let removed = nl.sweep();
+        assert_eq!(removed, 1);
+        assert_eq!(nl.num_gates(), 1);
+    }
+
+    #[test]
+    fn sweep_keeps_sequential_loops_reaching_outputs() {
+        let mut nl = Netlist::new("counter_bit");
+        let q = nl.add_net();
+        let nq = nl.add_gate(GateKind::Inv, &[q]);
+        let rst = nl.add_input("rst", 1)[0];
+        nl.attach_gate(
+            GateKind::Dff {
+                reset: ResetKind::Sync,
+                init: false,
+            },
+            &[nq, rst],
+            q,
+        )
+        .unwrap();
+        nl.add_output("q", &[q]);
+        assert_eq!(nl.sweep(), 0);
+        assert_eq!(nl.num_gates(), 2);
+    }
+
+    #[test]
+    fn area_report_splits_comb_seq() {
+        let mut nl = tiny();
+        let a = nl.input("a").unwrap().nets[0];
+        let q = nl.add_gate(
+            GateKind::Dff {
+                reset: ResetKind::None,
+                init: false,
+            },
+            &[a],
+        );
+        nl.add_output("q", &[q]);
+        let lib = Library::vt90();
+        let rep = nl.area_report(&lib);
+        assert!(rep.combinational > 0.0);
+        assert!(rep.sequential > 10.0);
+        assert_eq!(rep.total(), rep.combinational + rep.sequential);
+        assert_eq!(nl.flop_count(), 1);
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let nl = tiny();
+        let h = nl.gate_histogram();
+        assert_eq!(h.get(&GateKind::And2), Some(&1));
+    }
+
+    #[test]
+    fn rewrite_gate_in_place() {
+        let mut nl = tiny();
+        let y = nl.output_nets()[0];
+        let g = nl.driver(y).unwrap();
+        let ins = nl.gate(g).inputs.clone();
+        nl.rewrite_gate(g, GateKind::Or2, &ins);
+        assert_eq!(nl.gate(g).kind, GateKind::Or2);
+        nl.validate().unwrap();
+    }
+}

@@ -1,0 +1,84 @@
+//! Area reporting, the measurement the paper's figures are built from.
+
+/// Synthesized area split into combinational and sequential (non-
+/// combinational) contributions, in µm² — the same split Fig. 9 of the
+/// paper reports for the PCtrl.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AreaReport {
+    /// Total area of combinational cells.
+    pub combinational: f64,
+    /// Total area of sequential cells (flops).
+    pub sequential: f64,
+}
+
+impl AreaReport {
+    /// Total cell area.
+    pub fn total(&self) -> f64 {
+        self.combinational + self.sequential
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &AreaReport) -> AreaReport {
+        AreaReport {
+            combinational: self.combinational + other.combinational,
+            sequential: self.sequential + other.sequential,
+        }
+    }
+
+    /// The ratio of this report's total to another's.
+    ///
+    /// Returns `f64::NAN` when `other` is zero-area.
+    pub fn ratio_to(&self, other: &AreaReport) -> f64 {
+        if other.total() == 0.0 {
+            f64::NAN
+        } else {
+            self.total() / other.total()
+        }
+    }
+}
+
+impl std::fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "comb {:10.1} µm² | seq {:10.1} µm² | total {:10.1} µm²",
+            self.combinational,
+            self.sequential,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_sums() {
+        let a = AreaReport {
+            combinational: 10.0,
+            sequential: 5.0,
+        };
+        let b = AreaReport {
+            combinational: 1.0,
+            sequential: 2.0,
+        };
+        assert_eq!(a.total(), 15.0);
+        let s = a.add(&b);
+        assert_eq!(s.combinational, 11.0);
+        assert_eq!(s.sequential, 7.0);
+        assert!((a.ratio_to(&b) - 5.0).abs() < 1e-12);
+        assert!(a.ratio_to(&AreaReport::default()).is_nan());
+    }
+
+    #[test]
+    fn display_mentions_both_components() {
+        let a = AreaReport {
+            combinational: 1.0,
+            sequential: 2.0,
+        };
+        let s = a.to_string();
+        assert!(s.contains("comb"));
+        assert!(s.contains("seq"));
+    }
+}

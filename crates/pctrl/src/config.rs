@@ -1,0 +1,124 @@
+//! User-settable memory configuration.
+//!
+//! "The precise timing of each transfer depends on user-settable cache line
+//! size, as well as the access width to the caches (which can be single or
+//! double words)." — the paper, §II-C.
+
+/// The memory model the PCtrl implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemoryMode {
+    /// Multiprocessor cache-coherent operation: line fills, writebacks,
+    /// interventions.
+    Cached,
+    /// Direct uncached access: single transfers, no coherence traffic.
+    Uncached,
+}
+
+/// Cache line size in words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LineSize {
+    /// Four-word lines.
+    Words4,
+    /// Eight-word lines.
+    Words8,
+}
+
+impl LineSize {
+    /// Number of words per line.
+    pub fn words(self) -> usize {
+        match self {
+            LineSize::Words4 => 4,
+            LineSize::Words8 => 8,
+        }
+    }
+}
+
+/// Access width to the caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessWidth {
+    /// Single-word accesses.
+    Single,
+    /// Double-word accesses.
+    Double,
+}
+
+impl AccessWidth {
+    /// Words moved per beat.
+    pub fn words_per_beat(self) -> usize {
+        match self {
+            AccessWidth::Single => 1,
+            AccessWidth::Double => 2,
+        }
+    }
+}
+
+/// A complete PCtrl configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemoryConfig {
+    /// Operating mode.
+    pub mode: MemoryMode,
+    /// Cache line size.
+    pub line: LineSize,
+    /// Access width.
+    pub access: AccessWidth,
+}
+
+impl MemoryConfig {
+    /// The default cached configuration (8-word lines, double access).
+    pub fn cached() -> Self {
+        MemoryConfig {
+            mode: MemoryMode::Cached,
+            line: LineSize::Words8,
+            access: AccessWidth::Double,
+        }
+    }
+
+    /// The default uncached configuration.
+    pub fn uncached() -> Self {
+        MemoryConfig {
+            mode: MemoryMode::Uncached,
+            line: LineSize::Words4,
+            access: AccessWidth::Single,
+        }
+    }
+
+    /// Beats needed to move one line at this configuration.
+    pub fn beats_per_line(&self) -> usize {
+        self.line.words().div_ceil(self.access.words_per_beat())
+    }
+
+    /// A short identifier used in module names and reports.
+    pub fn tag(&self) -> String {
+        let mode = match self.mode {
+            MemoryMode::Cached => "cached",
+            MemoryMode::Uncached => "uncached",
+        };
+        format!(
+            "{mode}_l{}a{}",
+            self.line.words(),
+            self.access.words_per_beat()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_per_line() {
+        assert_eq!(MemoryConfig::cached().beats_per_line(), 4);
+        assert_eq!(MemoryConfig::uncached().beats_per_line(), 4);
+        let c = MemoryConfig {
+            mode: MemoryMode::Cached,
+            line: LineSize::Words8,
+            access: AccessWidth::Single,
+        };
+        assert_eq!(c.beats_per_line(), 8);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        assert_ne!(MemoryConfig::cached().tag(), MemoryConfig::uncached().tag());
+    }
+}

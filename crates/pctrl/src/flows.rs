@@ -1,0 +1,107 @@
+//! The three synthesis flavours of the paper's Fig. 9 experiment.
+
+use crate::config::MemoryConfig;
+use crate::rtl::{pctrl_module, PctrlStyle};
+use synthir_core::CoreError;
+use synthir_netlist::Library;
+use synthir_synth::flow::{compile, CompileResult};
+use synthir_synth::SynthOptions;
+
+/// The Fig. 9 design flavours.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Flavor {
+    /// The original flexible design: microcode in writable configuration
+    /// memories.
+    Full,
+    /// Automatically partially evaluated: tables bound, standard compile.
+    Auto,
+    /// Bound plus the annotations standing in for hand optimization
+    /// (unreachable-state removal and one-hot field folding).
+    Manual,
+}
+
+impl Flavor {
+    /// All flavours, in the paper's presentation order.
+    pub fn all() -> [Flavor; 3] {
+        [Flavor::Full, Flavor::Auto, Flavor::Manual]
+    }
+}
+
+impl std::fmt::Display for Flavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Flavor::Full => write!(f, "Full"),
+            Flavor::Auto => write!(f, "Auto"),
+            Flavor::Manual => write!(f, "Manual"),
+        }
+    }
+}
+
+/// Synthesizes the PCtrl for a configuration and flavour.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on elaboration or synthesis failure.
+pub fn synthesize(
+    cfg: &MemoryConfig,
+    flavor: Flavor,
+    lib: &Library,
+    opts: &SynthOptions,
+) -> Result<CompileResult, CoreError> {
+    let style = match flavor {
+        Flavor::Full => PctrlStyle::Flexible,
+        Flavor::Auto => PctrlStyle::Bound,
+        Flavor::Manual => PctrlStyle::BoundAnnotated,
+    };
+    let m = pctrl_module(cfg, style)?;
+    let e = synthir_rtl::elaborate(&m)?;
+    Ok(compile(&e, lib, opts)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_shape_holds() {
+        let lib = Library::vt90();
+        let opts = SynthOptions::default();
+        for cfg in [MemoryConfig::cached(), MemoryConfig::uncached()] {
+            let full = synthesize(&cfg, Flavor::Full, &lib, &opts).unwrap();
+            let auto = synthesize(&cfg, Flavor::Auto, &lib, &opts).unwrap();
+            let manual = synthesize(&cfg, Flavor::Manual, &lib, &opts).unwrap();
+            // Auto removes the configuration memories: sequential area drops
+            // substantially but not to zero (the staging datapath stays).
+            assert!(
+                auto.area.sequential < 0.75 * full.area.sequential,
+                "{}: auto seq {} vs full seq {}",
+                cfg.tag(),
+                auto.area.sequential,
+                full.area.sequential
+            );
+            assert!(auto.area.sequential > 0.2 * full.area.sequential);
+            // Combinational area also shrinks.
+            assert!(auto.area.combinational < full.area.combinational);
+            // Manual never does worse than Auto.
+            assert!(manual.area.total() <= auto.area.total() * 1.02);
+        }
+    }
+
+    #[test]
+    fn manual_gains_concentrate_in_uncached_mode() {
+        let lib = Library::vt90();
+        let opts = SynthOptions::default();
+        let gain = |cfg: &MemoryConfig| {
+            let auto = synthesize(cfg, Flavor::Auto, &lib, &opts).unwrap();
+            let manual = synthesize(cfg, Flavor::Manual, &lib, &opts).unwrap();
+            (auto.area.total() - manual.area.total()) / auto.area.total()
+        };
+        let cached_gain = gain(&MemoryConfig::cached());
+        let uncached_gain = gain(&MemoryConfig::uncached());
+        assert!(
+            uncached_gain > cached_gain,
+            "uncached {uncached_gain:.3} vs cached {cached_gain:.3}"
+        );
+        assert!(uncached_gain > 0.02, "uncached gain {uncached_gain:.3}");
+    }
+}

@@ -1,0 +1,361 @@
+//! Width-checked combinational expressions.
+
+/// Bitwise binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+}
+
+/// Reduction operators (n-bit operand, 1-bit result).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// OR of all bits.
+    Or,
+    /// AND of all bits.
+    And,
+    /// XOR (parity) of all bits.
+    Xor,
+}
+
+/// A combinational expression tree over named module signals.
+///
+/// Expressions are untyped until elaborated inside a [`crate::Module`],
+/// where every node's width is computed and checked. The natural bit order
+/// throughout is LSB-first.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Reference to a named signal (input port, wire, or register output).
+    Ref(String),
+    /// A literal of explicit width.
+    Const {
+        /// Bit width (1..=128).
+        width: usize,
+        /// The literal value (must fit in `width` bits).
+        value: u128,
+    },
+    /// Bitwise NOT.
+    Not(Box<Expr>),
+    /// Bitwise binary operation of equal-width operands.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand.
+        b: Box<Expr>,
+    },
+    /// Reduction to a single bit.
+    Reduce {
+        /// Operator.
+        op: ReduceOp,
+        /// Operand.
+        a: Box<Expr>,
+    },
+    /// 2:1 multiplexer on equal-width arms; `sel` must be 1 bit wide.
+    Mux {
+        /// Select bit.
+        sel: Box<Expr>,
+        /// Value when `sel == 0`.
+        on0: Box<Expr>,
+        /// Value when `sel == 1`.
+        on1: Box<Expr>,
+    },
+    /// A single bit of an operand.
+    Index {
+        /// Operand.
+        a: Box<Expr>,
+        /// Bit position (LSB = 0).
+        bit: usize,
+    },
+    /// A contiguous bit slice of an operand.
+    Slice {
+        /// Operand.
+        a: Box<Expr>,
+        /// Low bit of the slice.
+        lo: usize,
+        /// Slice width.
+        width: usize,
+    },
+    /// Concatenation; the first element occupies the low bits.
+    Concat(Vec<Expr>),
+    /// Equality comparison (1-bit result) of equal-width operands.
+    Eq {
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand.
+        b: Box<Expr>,
+    },
+    /// Wrap-around increment (`a + 1 mod 2^width`).
+    Inc(Box<Expr>),
+    /// Asynchronous read of a module memory at the given address.
+    ReadMem {
+        /// Memory name.
+        mem: String,
+        /// Address expression.
+        addr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Reference to a named signal.
+    pub fn reference(name: impl Into<String>) -> Expr {
+        Expr::Ref(name.into())
+    }
+
+    /// A constant of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `width` bits or `width` is 0 or
+    /// exceeds 128.
+    pub fn constant(width: usize, value: u128) -> Expr {
+        assert!(width >= 1 && width <= 128, "bad constant width {width}");
+        if width < 128 {
+            assert!(
+                value < (1u128 << width),
+                "constant {value:#x} does not fit in {width} bits"
+            );
+        }
+        Expr::Const { width, value }
+    }
+
+    /// A 1-bit constant.
+    pub fn bit(value: bool) -> Expr {
+        Expr::constant(1, u128::from(value))
+    }
+
+    /// Bitwise NOT.
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Bitwise AND.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: BinOp::And,
+            a: Box::new(self),
+            b: Box::new(other),
+        }
+    }
+
+    /// Bitwise OR.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: BinOp::Or,
+            a: Box::new(self),
+            b: Box::new(other),
+        }
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: BinOp::Xor,
+            a: Box::new(self),
+            b: Box::new(other),
+        }
+    }
+
+    /// OR-reduction to one bit.
+    pub fn reduce_or(self) -> Expr {
+        Expr::Reduce {
+            op: ReduceOp::Or,
+            a: Box::new(self),
+        }
+    }
+
+    /// AND-reduction to one bit.
+    pub fn reduce_and(self) -> Expr {
+        Expr::Reduce {
+            op: ReduceOp::And,
+            a: Box::new(self),
+        }
+    }
+
+    /// XOR-reduction (parity) to one bit.
+    pub fn reduce_xor(self) -> Expr {
+        Expr::Reduce {
+            op: ReduceOp::Xor,
+            a: Box::new(self),
+        }
+    }
+
+    /// 2:1 mux with `self` as the select bit.
+    pub fn mux(self, on0: Expr, on1: Expr) -> Expr {
+        Expr::Mux {
+            sel: Box::new(self),
+            on0: Box::new(on0),
+            on1: Box::new(on1),
+        }
+    }
+
+    /// Single-bit select.
+    pub fn index(self, bit: usize) -> Expr {
+        Expr::Index {
+            a: Box::new(self),
+            bit,
+        }
+    }
+
+    /// Contiguous slice `[lo .. lo+width)`.
+    pub fn slice(self, lo: usize, width: usize) -> Expr {
+        Expr::Slice {
+            a: Box::new(self),
+            lo,
+            width,
+        }
+    }
+
+    /// Concatenation (first element = low bits).
+    pub fn concat(parts: Vec<Expr>) -> Expr {
+        Expr::Concat(parts)
+    }
+
+    /// Equality comparison (1-bit result).
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Eq {
+            a: Box::new(self),
+            b: Box::new(other),
+        }
+    }
+
+    /// Equality against a constant of width `width`.
+    pub fn eq_const(self, width: usize, value: u128) -> Expr {
+        self.eq(Expr::constant(width, value))
+    }
+
+    /// Wrap-around increment.
+    pub fn inc(self) -> Expr {
+        Expr::Inc(Box::new(self))
+    }
+
+    /// Asynchronous memory read.
+    pub fn read_mem(mem: impl Into<String>, addr: Expr) -> Expr {
+        Expr::ReadMem {
+            mem: mem.into(),
+            addr: Box::new(addr),
+        }
+    }
+
+    /// Logical shift left by a constant, keeping the operand width
+    /// (`width` must be the operand's width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > width`.
+    pub fn shl_const(self, width: usize, k: usize) -> Expr {
+        assert!(k <= width, "shift {k} exceeds width {width}");
+        if k == 0 {
+            return self;
+        }
+        if k == width {
+            return Expr::constant(width, 0);
+        }
+        Expr::concat(vec![Expr::constant(k, 0), self.slice(0, width - k)])
+    }
+
+    /// Logical shift right by a constant, keeping the operand width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > width`.
+    pub fn shr_const(self, width: usize, k: usize) -> Expr {
+        assert!(k <= width, "shift {k} exceeds width {width}");
+        if k == 0 {
+            return self;
+        }
+        if k == width {
+            return Expr::constant(width, 0);
+        }
+        Expr::concat(vec![self.slice(k, width - k), Expr::constant(k, 0)])
+    }
+
+    /// All signal names referenced by the expression (including memories).
+    pub fn references(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_refs(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Ref(n) => out.push(n.clone()),
+            Expr::Const { .. } => {}
+            Expr::Not(a) | Expr::Reduce { a, .. } | Expr::Inc(a) => a.collect_refs(out),
+            Expr::Bin { a, b, .. } | Expr::Eq { a, b } => {
+                a.collect_refs(out);
+                b.collect_refs(out);
+            }
+            Expr::Mux { sel, on0, on1 } => {
+                sel.collect_refs(out);
+                on0.collect_refs(out);
+                on1.collect_refs(out);
+            }
+            Expr::Index { a, .. } | Expr::Slice { a, .. } => a.collect_refs(out),
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.collect_refs(out);
+                }
+            }
+            Expr::ReadMem { mem, addr } => {
+                out.push(mem.clone());
+                addr.collect_refs(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::reference("a")
+            .and(Expr::reference("b"))
+            .or(Expr::reference("c").not());
+        let refs = e.references();
+        assert_eq!(refs, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn shifts_build_concats() {
+        let e = Expr::reference("x").shl_const(4, 1);
+        match &e {
+            Expr::Concat(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Expr::Const { width: 1, value: 0 }));
+            }
+            other => panic!("expected concat, got {other:?}"),
+        }
+        // Full shift becomes a constant.
+        assert!(matches!(
+            Expr::reference("x").shl_const(4, 4),
+            Expr::Const { width: 4, value: 0 }
+        ));
+        // Zero shift is the identity.
+        assert!(matches!(
+            Expr::reference("x").shr_const(4, 0),
+            Expr::Ref(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_constant_panics() {
+        Expr::constant(3, 8);
+    }
+
+    #[test]
+    fn references_include_memories() {
+        let e = Expr::read_mem("rom", Expr::reference("addr"));
+        assert_eq!(e.references(), vec!["addr", "rom"]);
+    }
+}

@@ -1,0 +1,646 @@
+//! Equivalence checking between designs.
+//!
+//! The central soundness check of the whole methodology: a partially
+//! evaluated (specialized) design must be input/output-equivalent to the
+//! flexible design it came from, with the flexible design's configuration
+//! inputs bound to the programmed values.
+
+use crate::comb::CombSim;
+use crate::seq::SeqSim;
+use crate::SimError;
+use std::collections::HashMap;
+use synthir_logic::{Bdd, BddRef};
+use synthir_netlist::{NetId, Netlist};
+
+/// Options for equivalence checking.
+#[derive(Clone, Debug, Default)]
+pub struct EquivOptions {
+    /// Constant bindings applied to inputs of either design (by port name).
+    /// Ports bound here are excluded from the shared interface.
+    pub bind_left: HashMap<String, u128>,
+    /// Constant bindings for the right design.
+    pub bind_right: HashMap<String, u128>,
+    /// Number of random pattern words (64 patterns each) for random checks.
+    pub random_words: usize,
+    /// Number of clock cycles per sequential run.
+    pub cycles: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl EquivOptions {
+    /// Reasonable defaults: 64 random words (4096 patterns), 256 cycles.
+    pub fn new() -> Self {
+        EquivOptions {
+            bind_left: HashMap::new(),
+            bind_right: HashMap::new(),
+            random_words: 64,
+            cycles: 256,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A distinguishing input found by an equivalence check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Counterexample {
+    /// Input values by port name.
+    pub inputs: HashMap<String, u128>,
+    /// The output port that differs.
+    pub output: String,
+    /// Value produced by the left design.
+    pub left: u128,
+    /// Value produced by the right design.
+    pub right: u128,
+}
+
+/// The verdict of an equivalence check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EquivResult {
+    /// No difference found (proof for exhaustive/BDD modes, high confidence
+    /// for random modes).
+    Equivalent,
+    /// A concrete counterexample.
+    Inequivalent(Box<Counterexample>),
+}
+
+impl EquivResult {
+    /// Whether the verdict is [`EquivResult::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivResult::Equivalent)
+    }
+}
+
+struct Interface {
+    /// Shared free inputs: (name, width).
+    inputs: Vec<(String, usize)>,
+    /// Shared outputs: (name, width).
+    outputs: Vec<(String, usize)>,
+}
+
+fn shared_interface(
+    left: &Netlist,
+    right: &Netlist,
+    opts: &EquivOptions,
+) -> Result<Interface, SimError> {
+    let mut inputs = Vec::new();
+    for p in left.inputs() {
+        if opts.bind_left.contains_key(&p.name) {
+            continue;
+        }
+        match right.input(&p.name) {
+            Ok(rp) if rp.nets.len() == p.nets.len() => {
+                inputs.push((p.name.clone(), p.nets.len()));
+            }
+            Ok(_) => {
+                return Err(SimError::PortMismatch {
+                    context: format!("input `{}` width differs", p.name),
+                })
+            }
+            Err(_) => {
+                return Err(SimError::PortMismatch {
+                    context: format!("input `{}` missing on right design", p.name),
+                })
+            }
+        }
+    }
+    for p in right.inputs() {
+        if opts.bind_right.contains_key(&p.name) {
+            continue;
+        }
+        if !inputs.iter().any(|(n, _)| n == &p.name) {
+            return Err(SimError::PortMismatch {
+                context: format!("input `{}` missing on left design", p.name),
+            });
+        }
+    }
+    let mut outputs = Vec::new();
+    for p in left.outputs() {
+        if let Ok(rp) = right.output(&p.name) {
+            if rp.nets.len() != p.nets.len() {
+                return Err(SimError::PortMismatch {
+                    context: format!("output `{}` width differs", p.name),
+                });
+            }
+            outputs.push((p.name.clone(), p.nets.len()));
+        }
+    }
+    if outputs.is_empty() {
+        return Err(SimError::PortMismatch {
+            context: "no common outputs".into(),
+        });
+    }
+    Ok(Interface { inputs, outputs })
+}
+
+/// Checks combinational equivalence.
+///
+/// Uses BDD-based exact checking when the shared interface has at most 24
+/// input bits, exhaustive simulation up to 16 bits as a cross-check, and
+/// random simulation beyond that.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for invalid netlists or incompatible interfaces.
+pub fn check_comb_equiv(
+    left: &Netlist,
+    right: &Netlist,
+    opts: &EquivOptions,
+) -> Result<EquivResult, SimError> {
+    let iface = shared_interface(left, right, opts)?;
+    let total_bits: usize = iface.inputs.iter().map(|(_, w)| w).sum();
+    if total_bits <= 24 {
+        check_comb_bdd(left, right, &iface, opts)
+    } else {
+        check_comb_random(left, right, &iface, opts)
+    }
+}
+
+fn net_bdd(
+    nl: &Netlist,
+    bdd: &mut Bdd,
+    input_vars: &HashMap<NetId, u32>,
+    cache: &mut HashMap<NetId, BddRef>,
+    net: NetId,
+) -> BddRef {
+    if let Some(&r) = cache.get(&net) {
+        return r;
+    }
+    let r = if let Some(&v) = input_vars.get(&net) {
+        bdd.var(v)
+    } else if let Some(g) = nl.driver(net) {
+        let gate = nl.gate(g).clone();
+        assert!(
+            !gate.kind.is_sequential(),
+            "combinational equivalence on sequential netlist"
+        );
+        let ins: Vec<BddRef> = gate
+            .inputs
+            .iter()
+            .map(|&i| net_bdd(nl, bdd, input_vars, cache, i))
+            .collect();
+        apply_gate(bdd, gate.kind, &ins)
+    } else {
+        // Undriven non-input net: constant 0.
+        BddRef::ZERO
+    };
+    cache.insert(net, r);
+    r
+}
+
+fn apply_gate(bdd: &mut Bdd, kind: synthir_netlist::GateKind, ins: &[BddRef]) -> BddRef {
+    use synthir_netlist::GateKind::*;
+    match kind {
+        Const0 => BddRef::ZERO,
+        Const1 => BddRef::ONE,
+        Buf => ins[0],
+        Inv => bdd.not(ins[0]),
+        And2 | And3 | And4 => fold(bdd, ins, Bdd::and),
+        Or2 | Or3 | Or4 => fold(bdd, ins, Bdd::or),
+        Nand2 | Nand3 | Nand4 => {
+            let a = fold(bdd, ins, Bdd::and);
+            bdd.not(a)
+        }
+        Nor2 | Nor3 | Nor4 => {
+            let a = fold(bdd, ins, Bdd::or);
+            bdd.not(a)
+        }
+        Xor2 => bdd.xor(ins[0], ins[1]),
+        Xnor2 => {
+            let x = bdd.xor(ins[0], ins[1]);
+            bdd.not(x)
+        }
+        Mux2 => bdd.ite(ins[0], ins[2], ins[1]),
+        Aoi21 => {
+            let ab = bdd.and(ins[0], ins[1]);
+            let o = bdd.or(ab, ins[2]);
+            bdd.not(o)
+        }
+        Oai21 => {
+            let ab = bdd.or(ins[0], ins[1]);
+            let a = bdd.and(ab, ins[2]);
+            bdd.not(a)
+        }
+        Aoi22 => {
+            let ab = bdd.and(ins[0], ins[1]);
+            let cd = bdd.and(ins[2], ins[3]);
+            let o = bdd.or(ab, cd);
+            bdd.not(o)
+        }
+        Oai22 => {
+            let ab = bdd.or(ins[0], ins[1]);
+            let cd = bdd.or(ins[2], ins[3]);
+            let a = bdd.and(ab, cd);
+            bdd.not(a)
+        }
+        Dff { .. } => unreachable!("checked by caller"),
+    }
+}
+
+fn fold(bdd: &mut Bdd, ins: &[BddRef], f: fn(&mut Bdd, BddRef, BddRef) -> BddRef) -> BddRef {
+    let mut acc = ins[0];
+    for &i in &ins[1..] {
+        acc = f(bdd, acc, i);
+    }
+    acc
+}
+
+fn assign_vars(
+    nl: &Netlist,
+    iface: &Interface,
+    binds: &HashMap<String, u128>,
+    bdd: &mut Bdd,
+    var_of: &HashMap<String, u32>,
+) -> Result<HashMap<NetId, BddRef>, SimError> {
+    let mut seeds: HashMap<NetId, BddRef> = HashMap::new();
+    for p in nl.inputs() {
+        if let Some(&v) = binds.get(&p.name) {
+            for (i, &n) in p.nets.iter().enumerate() {
+                seeds.insert(n, bdd.constant(v >> i & 1 != 0));
+            }
+        } else {
+            let base = var_of[&p.name];
+            for (i, &n) in p.nets.iter().enumerate() {
+                let r = bdd.var(base + i as u32);
+                seeds.insert(n, r);
+            }
+        }
+    }
+    let _ = iface;
+    Ok(seeds)
+}
+
+fn check_comb_bdd(
+    left: &Netlist,
+    right: &Netlist,
+    iface: &Interface,
+    opts: &EquivOptions,
+) -> Result<EquivResult, SimError> {
+    let mut bdd = Bdd::new();
+    // Assign shared variable numbers per interface input bit.
+    let mut var_of: HashMap<String, u32> = HashMap::new();
+    let mut next = 0u32;
+    for (name, w) in &iface.inputs {
+        var_of.insert(name.clone(), next);
+        next += *w as u32;
+    }
+    let build = |nl: &Netlist,
+                 binds: &HashMap<String, u128>,
+                 bdd: &mut Bdd|
+     -> Result<HashMap<String, Vec<BddRef>>, SimError> {
+        let seeds = assign_vars(nl, iface, binds, bdd, &var_of)?;
+        let mut cache: HashMap<NetId, BddRef> = seeds;
+        // Input nets are cached directly; treat them as "input vars" absent.
+        let input_vars: HashMap<NetId, u32> = HashMap::new();
+        let mut outs = HashMap::new();
+        for p in nl.outputs() {
+            let refs: Vec<BddRef> = p
+                .nets
+                .iter()
+                .map(|&n| net_bdd(nl, bdd, &input_vars, &mut cache, n))
+                .collect();
+            outs.insert(p.name.clone(), refs);
+        }
+        Ok(outs)
+    };
+    let louts = build(left, &opts.bind_left, &mut bdd)?;
+    let routs = build(right, &opts.bind_right, &mut bdd)?;
+    for (name, w) in &iface.outputs {
+        let l = &louts[name];
+        let r = &routs[name];
+        for bit in 0..*w {
+            let diff = bdd.xor(l[bit], r[bit]);
+            if let Some(m) = bdd.any_sat(diff) {
+                // Decode the counterexample.
+                let mut inputs = HashMap::new();
+                for (iname, iw) in &iface.inputs {
+                    let base = var_of[iname];
+                    let mut v = 0u128;
+                    for i in 0..*iw {
+                        if m >> (base + i as u32) & 1 != 0 {
+                            v |= 1 << i;
+                        }
+                    }
+                    inputs.insert(iname.clone(), v);
+                }
+                let eval = |nl: &Netlist, binds: &HashMap<String, u128>| {
+                    eval_once(nl, &inputs, binds, name)
+                };
+                let lv = eval(left, &opts.bind_left);
+                let rv = eval(right, &opts.bind_right);
+                return Ok(EquivResult::Inequivalent(Box::new(Counterexample {
+                    inputs,
+                    output: name.clone(),
+                    left: lv,
+                    right: rv,
+                })));
+            }
+        }
+    }
+    Ok(EquivResult::Equivalent)
+}
+
+fn eval_once(
+    nl: &Netlist,
+    inputs: &HashMap<String, u128>,
+    binds: &HashMap<String, u128>,
+    output: &str,
+) -> u128 {
+    let sim = CombSim::new(nl).expect("validated earlier");
+    let mut sources: Vec<(NetId, u64)> = Vec::new();
+    for p in nl.inputs() {
+        let v = binds
+            .get(&p.name)
+            .or_else(|| inputs.get(&p.name))
+            .copied()
+            .unwrap_or(0);
+        for (i, &n) in p.nets.iter().enumerate() {
+            sources.push((n, if v >> i & 1 != 0 { u64::MAX } else { 0 }));
+        }
+    }
+    let vals = sim.eval_with(nl, &sources);
+    let port = nl.output(output).expect("output exists");
+    let mut v = 0u128;
+    for (i, &n) in port.nets.iter().enumerate() {
+        if vals[n.index()] & 1 != 0 {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+fn check_comb_random(
+    left: &Netlist,
+    right: &Netlist,
+    iface: &Interface,
+    opts: &EquivOptions,
+) -> Result<EquivResult, SimError> {
+    let lsim = CombSim::new(left)?;
+    let rsim = CombSim::new(right)?;
+    let mut rng = SplitMix::new(opts.seed);
+    for _ in 0..opts.random_words.max(1) {
+        // One random word per interface input bit.
+        let mut words: HashMap<(String, usize), u64> = HashMap::new();
+        for (name, w) in &iface.inputs {
+            for i in 0..*w {
+                words.insert((name.clone(), i), rng.next());
+            }
+        }
+        let make_sources = |nl: &Netlist, binds: &HashMap<String, u128>| {
+            let mut sources: Vec<(NetId, u64)> = Vec::new();
+            for p in nl.inputs() {
+                if let Some(&v) = binds.get(&p.name) {
+                    for (i, &n) in p.nets.iter().enumerate() {
+                        sources.push((n, if v >> i & 1 != 0 { u64::MAX } else { 0 }));
+                    }
+                } else {
+                    for (i, &n) in p.nets.iter().enumerate() {
+                        sources.push((n, *words.get(&(p.name.clone(), i)).unwrap_or(&0)));
+                    }
+                }
+            }
+            sources
+        };
+        let lvals = lsim.eval_with(left, &make_sources(left, &opts.bind_left));
+        let rvals = rsim.eval_with(right, &make_sources(right, &opts.bind_right));
+        for (name, w) in &iface.outputs {
+            let lport = left.output(name).expect("exists");
+            let rport = right.output(name).expect("exists");
+            for bit in 0..*w {
+                let lw = lvals[lport.nets[bit].index()];
+                let rw = rvals[rport.nets[bit].index()];
+                if lw != rw {
+                    let k = (lw ^ rw).trailing_zeros() as usize;
+                    let mut inputs = HashMap::new();
+                    for (iname, iw) in &iface.inputs {
+                        let mut v = 0u128;
+                        for i in 0..*iw {
+                            if words[&(iname.clone(), i)] >> k & 1 != 0 {
+                                v |= 1 << i;
+                            }
+                        }
+                        inputs.insert(iname.clone(), v);
+                    }
+                    let lv = eval_once(left, &inputs, &opts.bind_left, name);
+                    let rv = eval_once(right, &inputs, &opts.bind_right, name);
+                    return Ok(EquivResult::Inequivalent(Box::new(Counterexample {
+                        inputs,
+                        output: name.clone(),
+                        left: lv,
+                        right: rv,
+                    })));
+                }
+            }
+        }
+    }
+    Ok(EquivResult::Equivalent)
+}
+
+/// Checks sequential equivalence by resetting both designs and driving them
+/// with identical random input sequences, comparing outputs each cycle.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for invalid netlists or incompatible interfaces.
+pub fn check_seq_equiv(
+    left: &Netlist,
+    right: &Netlist,
+    opts: &EquivOptions,
+) -> Result<EquivResult, SimError> {
+    let iface = shared_interface(left, right, opts)?;
+    let mut lsim = SeqSim::new(left)?;
+    let mut rsim = SeqSim::new(right)?;
+    let mut rng = SplitMix::new(opts.seed);
+    for cycle in 0..opts.cycles.max(1) {
+        let mut inputs: HashMap<String, u128> = HashMap::new();
+        for (name, w) in &iface.inputs {
+            if name == "rst" {
+                // Keep reset deasserted after the initial state (SeqSim::new
+                // already applied reset values).
+                inputs.insert(name.clone(), 0);
+                continue;
+            }
+            let mask = if *w >= 128 {
+                u128::MAX
+            } else {
+                (1u128 << w) - 1
+            };
+            let v = ((rng.next() as u128) << 64 | rng.next() as u128) & mask;
+            inputs.insert(name.clone(), v);
+        }
+        let mut lin = inputs.clone();
+        for (k, v) in &opts.bind_left {
+            lin.insert(k.clone(), *v);
+        }
+        let mut rin = inputs.clone();
+        for (k, v) in &opts.bind_right {
+            rin.insert(k.clone(), *v);
+        }
+        let lout = lsim.step(&lin);
+        let rout = rsim.step(&rin);
+        for (name, _) in &iface.outputs {
+            if lout[name] != rout[name] {
+                let mut cex_inputs = inputs.clone();
+                cex_inputs.insert("__cycle".into(), cycle as u128);
+                return Ok(EquivResult::Inequivalent(Box::new(Counterexample {
+                    inputs: cex_inputs,
+                    output: name.clone(),
+                    left: lout[name],
+                    right: rout[name],
+                })));
+            }
+        }
+    }
+    Ok(EquivResult::Equivalent)
+}
+
+/// Minimal deterministic RNG (SplitMix64).
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthir_netlist::GateKind;
+
+    fn and_module(extra_inv: bool) -> Netlist {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a", 1)[0];
+        let b = nl.add_input("b", 1)[0];
+        let mut y = nl.add_gate(GateKind::And2, &[a, b]);
+        if extra_inv {
+            let t = nl.add_gate(GateKind::Inv, &[y]);
+            y = nl.add_gate(GateKind::Inv, &[t]);
+        }
+        nl.add_output("y", &[y]);
+        nl
+    }
+
+    #[test]
+    fn equivalent_designs_pass() {
+        let l = and_module(false);
+        let r = and_module(true);
+        let res = check_comb_equiv(&l, &r, &EquivOptions::new()).unwrap();
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn inequivalent_designs_yield_counterexample() {
+        let l = and_module(false);
+        let mut r = Netlist::new("m");
+        let a = r.add_input("a", 1)[0];
+        let b = r.add_input("b", 1)[0];
+        let y = r.add_gate(GateKind::Or2, &[a, b]);
+        r.add_output("y", &[y]);
+        let res = check_comb_equiv(&l, &r, &EquivOptions::new()).unwrap();
+        match res {
+            EquivResult::Inequivalent(cex) => {
+                assert_ne!(cex.left, cex.right);
+                // The counterexample must actually distinguish AND from OR.
+                let a = cex.inputs["a"];
+                let b = cex.inputs["b"];
+                assert_ne!(a & b, a | b);
+            }
+            EquivResult::Equivalent => panic!("missed inequivalence"),
+        }
+    }
+
+    #[test]
+    fn binding_removes_ports_from_interface() {
+        // Left: y = a & cfg. Right: y = a (cfg bound to 1).
+        let mut l = Netlist::new("l");
+        let a = l.add_input("a", 1)[0];
+        let cfg = l.add_input("cfg", 1)[0];
+        let y = l.add_gate(GateKind::And2, &[a, cfg]);
+        l.add_output("y", &[y]);
+        let mut r = Netlist::new("r");
+        let a = r.add_input("a", 1)[0];
+        let y = r.add_gate(GateKind::Buf, &[a]);
+        r.add_output("y", &[y]);
+
+        let mut opts = EquivOptions::new();
+        opts.bind_left.insert("cfg".into(), 1);
+        let res = check_comb_equiv(&l, &r, &opts).unwrap();
+        assert!(res.is_equivalent());
+
+        // Bound to 0 the designs differ.
+        opts.bind_left.insert("cfg".into(), 0);
+        let res = check_comb_equiv(&l, &r, &opts).unwrap();
+        assert!(!res.is_equivalent());
+    }
+
+    #[test]
+    fn port_mismatch_detected() {
+        let l = and_module(false);
+        let mut r = Netlist::new("r");
+        let a = r.add_input("a", 1)[0];
+        let y = r.add_gate(GateKind::Buf, &[a]);
+        r.add_output("y", &[y]);
+        assert!(matches!(
+            check_comb_equiv(&l, &r, &EquivOptions::new()),
+            Err(SimError::PortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_equivalence() {
+        use synthir_netlist::ResetKind;
+        let build = |invert_twice: bool| {
+            let mut nl = Netlist::new("t");
+            let rst = nl.add_input("rst", 1)[0];
+            let d = nl.add_input("d", 1)[0];
+            let mut din = d;
+            if invert_twice {
+                let t = nl.add_gate(GateKind::Inv, &[din]);
+                din = nl.add_gate(GateKind::Inv, &[t]);
+            }
+            let q = nl.add_gate(
+                GateKind::Dff {
+                    reset: ResetKind::Sync,
+                    init: false,
+                },
+                &[din, rst],
+            );
+            nl.add_output("q", &[q]);
+            nl
+        };
+        let res = check_seq_equiv(&build(false), &build(true), &EquivOptions::new()).unwrap();
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn sequential_inequivalence_found() {
+        use synthir_netlist::ResetKind;
+        let build = |init: bool| {
+            let mut nl = Netlist::new("t");
+            let rst = nl.add_input("rst", 1)[0];
+            let d = nl.add_input("d", 1)[0];
+            let q = nl.add_gate(
+                GateKind::Dff {
+                    reset: ResetKind::Sync,
+                    init,
+                },
+                &[d, rst],
+            );
+            nl.add_output("q", &[q]);
+            nl
+        };
+        let res = check_seq_equiv(&build(false), &build(true), &EquivOptions::new()).unwrap();
+        assert!(!res.is_equivalent());
+    }
+}

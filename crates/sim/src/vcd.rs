@@ -1,0 +1,217 @@
+//! VCD (value change dump) waveform export.
+//!
+//! Records the port activity of a [`crate::SeqSim`] run into the standard
+//! IEEE 1364 VCD text format, viewable with GTKWave and friends — the
+//! debugging loop a real controller bring-up needs.
+
+use crate::seq::SeqSim;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A VCD recorder over a sequential simulation.
+///
+/// # Examples
+///
+/// ```
+/// use synthir_netlist::{GateKind, Netlist};
+/// use synthir_sim::{SeqSim, vcd::VcdRecorder};
+/// use std::collections::HashMap;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a", 1)[0];
+/// let y = nl.add_gate(GateKind::Inv, &[a]);
+/// nl.add_output("y", &[y]);
+/// let mut sim = SeqSim::new(&nl)?;
+/// let mut rec = VcdRecorder::new(&nl, "1ns");
+/// for v in [0u128, 1, 1, 0] {
+///     let mut inputs = HashMap::new();
+///     inputs.insert("a".to_string(), v);
+///     let outputs = sim.step(&inputs);
+///     rec.sample(&inputs, &outputs);
+/// }
+/// let text = rec.finish();
+/// assert!(text.contains("$var"));
+/// assert!(text.contains("#3"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct VcdRecorder {
+    header: String,
+    body: String,
+    ids: Vec<(String, usize, String)>,
+    last: HashMap<String, u128>,
+    time: u64,
+}
+
+impl VcdRecorder {
+    /// Creates a recorder for the netlist's ports with the given timescale.
+    pub fn new(nl: &synthir_netlist::Netlist, timescale: &str) -> Self {
+        let mut header = String::new();
+        let _ = writeln!(header, "$timescale {timescale} $end");
+        let _ = writeln!(header, "$scope module {} $end", nl.name());
+        let mut ids = Vec::new();
+        let mut code = 33u8; // '!'
+        for p in nl.inputs().iter().chain(nl.outputs()) {
+            let id = (code as char).to_string();
+            code = code.wrapping_add(1).clamp(33, 126);
+            let _ = writeln!(
+                header,
+                "$var wire {} {} {} $end",
+                p.nets.len(),
+                id,
+                p.name
+            );
+            ids.push((p.name.clone(), p.nets.len(), id));
+        }
+        let _ = writeln!(header, "$upscope $end");
+        let _ = writeln!(header, "$enddefinitions $end");
+        VcdRecorder {
+            header,
+            body: String::new(),
+            ids,
+            last: HashMap::new(),
+            time: 0,
+        }
+    }
+
+    /// Records one cycle of port values (missing names hold their previous
+    /// value; unknown names are ignored).
+    pub fn sample(
+        &mut self,
+        inputs: &HashMap<String, u128>,
+        outputs: &HashMap<String, u128>,
+    ) {
+        let mut emitted_time = false;
+        for (name, width, id) in &self.ids {
+            let v = inputs
+                .get(name)
+                .or_else(|| outputs.get(name))
+                .copied()
+                .or_else(|| self.last.get(name).copied())
+                .unwrap_or(0);
+            if self.last.get(name) == Some(&v) {
+                continue;
+            }
+            if !emitted_time {
+                let _ = writeln!(self.body, "#{}", self.time);
+                emitted_time = true;
+            }
+            if *width == 1 {
+                let _ = writeln!(self.body, "{}{}", v & 1, id);
+            } else {
+                let mut bits = String::new();
+                for b in (0..*width).rev() {
+                    bits.push(if v >> b & 1 != 0 { '1' } else { '0' });
+                }
+                let _ = writeln!(self.body, "b{bits} {id}");
+            }
+            self.last.insert(name.clone(), v);
+        }
+        self.time += 1;
+    }
+
+    /// Finalizes and returns the VCD text.
+    pub fn finish(mut self) -> String {
+        let _ = writeln!(self.body, "#{}", self.time);
+        format!("{}{}", self.header, self.body)
+    }
+}
+
+/// Convenience: runs `cycles` steps with the provided input function and
+/// returns the VCD text.
+pub fn record_run(
+    nl: &synthir_netlist::Netlist,
+    cycles: usize,
+    mut inputs_at: impl FnMut(usize) -> HashMap<String, u128>,
+) -> Result<String, crate::SimError> {
+    let mut sim = SeqSim::new(nl)?;
+    let mut rec = VcdRecorder::new(nl, "1ns");
+    for cycle in 0..cycles {
+        let inputs = inputs_at(cycle);
+        let outputs = sim.step(&inputs);
+        rec.sample(&inputs, &outputs);
+    }
+    Ok(rec.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthir_netlist::{GateKind, Netlist, ResetKind};
+
+    fn counter() -> Netlist {
+        let mut nl = Netlist::new("cnt");
+        let rst = nl.add_input("rst", 1)[0];
+        let q0 = nl.add_net();
+        let d0 = nl.add_gate(GateKind::Inv, &[q0]);
+        nl.attach_gate(
+            GateKind::Dff {
+                reset: ResetKind::Sync,
+                init: false,
+            },
+            &[d0, rst],
+            q0,
+        )
+        .unwrap();
+        nl.add_output("q", &[q0]);
+        nl
+    }
+
+    #[test]
+    fn header_declares_ports() {
+        let nl = counter();
+        let text = record_run(&nl, 4, |_| HashMap::new()).unwrap();
+        assert!(text.contains("$timescale 1ns $end"));
+        assert!(text.contains("$var wire 1"));
+        assert!(text.contains(" rst "));
+        assert!(text.contains(" q "));
+        assert!(text.contains("$enddefinitions"));
+    }
+
+    #[test]
+    fn records_toggles() {
+        let nl = counter();
+        let text = record_run(&nl, 4, |_| HashMap::new()).unwrap();
+        // The counter output toggles each cycle, so every timestamp appears.
+        for t in 0..4 {
+            assert!(text.contains(&format!("#{t}")), "missing #{t} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn unchanged_values_are_not_re_emitted() {
+        let nl = counter();
+        // Hold reset: q stays 0 after the first sample.
+        let text = record_run(&nl, 5, |_| {
+            let mut m = HashMap::new();
+            m.insert("rst".to_string(), 1u128);
+            m
+        })
+        .unwrap();
+        let q_changes = text.lines().filter(|l| l.ends_with('"')).count();
+        let _ = q_changes; // identifier may not be '"'; count changes instead:
+        let value_lines = text
+            .lines()
+            .filter(|l| l.starts_with('0') || l.starts_with('1'))
+            .count();
+        // rst 1 once, q 0 once => 2 single-bit change lines.
+        assert_eq!(value_lines, 2, "{text}");
+    }
+
+    #[test]
+    fn multibit_buses_use_binary_format() {
+        let mut nl = Netlist::new("bus");
+        let a = nl.add_input("a", 3);
+        nl.add_output("y", &a);
+        let text = record_run(&nl, 2, |c| {
+            let mut m = HashMap::new();
+            m.insert("a".to_string(), if c == 0 { 0b101 } else { 0b010 });
+            m
+        })
+        .unwrap();
+        assert!(text.contains("b101 "), "{text}");
+        assert!(text.contains("b010 "), "{text}");
+    }
+}

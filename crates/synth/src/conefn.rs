@@ -1,0 +1,137 @@
+//! Cone extraction: collapsing a combinational cone to a truth table.
+
+use synthir_logic::TruthTable;
+use synthir_netlist::{topo, NetId, Netlist};
+
+/// The complete function of a combinational cone rooted at `root`, expressed
+/// over the cone's support (primary inputs and flop outputs), or `None` if
+/// the support exceeds `max_support`.
+///
+/// Variable `i` of the returned table corresponds to `support[i]`.
+pub fn cone_function(
+    nl: &Netlist,
+    root: NetId,
+    max_support: usize,
+) -> Option<(Vec<NetId>, TruthTable)> {
+    let support = topo::comb_support(nl, root);
+    if support.len() > max_support {
+        return None;
+    }
+    Some((support.clone(), cone_function_on(nl, root, &support)))
+}
+
+/// The function of a cone over an explicitly provided support ordering.
+///
+/// # Panics
+///
+/// Panics if the cone depends on sources outside `support` (other than
+/// constants) or `support.len() > 24`.
+pub fn cone_function_on(nl: &Netlist, root: NetId, support: &[NetId]) -> TruthTable {
+    let k = support.len();
+    assert!(k <= 24, "cone support too large to enumerate");
+    let gates = topo::cone_gates(nl, root);
+    let n_patterns = 1usize << k;
+    let words = n_patterns.div_ceil(64);
+    let mut bits = synthir_logic::BitVec::zeros(n_patterns);
+    let mut vals = vec![0u64; nl.num_nets()];
+    for w in 0..words {
+        // Pattern p (global index w*64 + bit) assigns support[i] the i-th
+        // address bit of the pattern index.
+        for (i, &s) in support.iter().enumerate() {
+            let mut word = 0u64;
+            for b in 0..64 {
+                let p = w * 64 + b;
+                if p < n_patterns && p >> i & 1 != 0 {
+                    word |= 1 << b;
+                }
+            }
+            vals[s.index()] = word;
+        }
+        // Constants.
+        for (_, g) in nl.gates() {
+            if g.kind.is_constant() {
+                vals[g.output.index()] = g.kind.eval_words(&[]);
+            }
+        }
+        let mut ins: Vec<u64> = Vec::with_capacity(4);
+        for &gid in &gates {
+            let g = nl.gate(gid);
+            ins.clear();
+            ins.extend(g.inputs.iter().map(|i| vals[i.index()]));
+            vals[g.output.index()] = g.kind.eval_words(&ins);
+        }
+        let rootw = vals[root.index()];
+        for b in 0..64 {
+            let p = w * 64 + b;
+            if p < n_patterns && rootw >> b & 1 != 0 {
+                bits.set(p, true);
+            }
+        }
+    }
+    TruthTable::from_bits(k, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthir_netlist::GateKind;
+
+    #[test]
+    fn extracts_majority() {
+        let mut nl = Netlist::new("maj");
+        let a = nl.add_input("a", 1)[0];
+        let b = nl.add_input("b", 1)[0];
+        let c = nl.add_input("c", 1)[0];
+        let ab = nl.add_gate(GateKind::And2, &[a, b]);
+        let bc = nl.add_gate(GateKind::And2, &[b, c]);
+        let ac = nl.add_gate(GateKind::And2, &[a, c]);
+        let t = nl.add_gate(GateKind::Or2, &[ab, bc]);
+        let y = nl.add_gate(GateKind::Or2, &[t, ac]);
+        nl.add_output("y", &[y]);
+        let (support, tt) = cone_function(&nl, y, 8).unwrap();
+        assert_eq!(support.len(), 3);
+        // Variable order follows support (sorted by NetId = a, b, c).
+        let expected = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        assert_eq!(tt, expected);
+    }
+
+    #[test]
+    fn respects_support_limit() {
+        let mut nl = Netlist::new("wide");
+        let xs = nl.add_input("x", 6);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = nl.add_gate(GateKind::And2, &[acc, x]);
+        }
+        nl.add_output("y", &[acc]);
+        assert!(cone_function(&nl, acc, 5).is_none());
+        assert!(cone_function(&nl, acc, 6).is_some());
+    }
+
+    #[test]
+    fn constants_in_cone() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a", 1)[0];
+        let c1 = nl.const1();
+        let y = nl.add_gate(GateKind::And2, &[a, c1]);
+        nl.add_output("y", &[y]);
+        let (support, tt) = cone_function(&nl, y, 4).unwrap();
+        assert_eq!(support.len(), 1);
+        assert_eq!(tt, TruthTable::variable(1, 0));
+    }
+
+    #[test]
+    fn wide_cone_multiword() {
+        // 7 inputs → 128 patterns → 2 words.
+        let mut nl = Netlist::new("parity7");
+        let xs = nl.add_input("x", 7);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = nl.add_gate(GateKind::Xor2, &[acc, x]);
+        }
+        nl.add_output("y", &[acc]);
+        let (_, tt) = cone_function(&nl, acc, 7).unwrap();
+        let expected = TruthTable::from_fn(7, |m| m.count_ones() % 2 == 1);
+        assert_eq!(tt, expected);
+    }
+}

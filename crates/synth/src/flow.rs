@@ -1,0 +1,234 @@
+//! The `compile` flow: the pass pipeline a synthesis run executes.
+
+use crate::options::SynthOptions;
+use crate::timing::{sta, TimingReport};
+use crate::SynthError;
+use synthir_netlist::{AreaReport, Library, Netlist};
+use synthir_rtl::elaborate::{Elaborated, FsmNets, NetGroupValues};
+
+/// The output of a [`compile`] run.
+#[derive(Clone, Debug)]
+pub struct CompileResult {
+    /// The optimized, mapped netlist.
+    pub netlist: Netlist,
+    /// Area under the provided library.
+    pub area: AreaReport,
+    /// Static timing of the result.
+    pub timing: TimingReport,
+    /// Pass statistics (pass name, number of rewrites).
+    pub stats: Vec<(&'static str, usize)>,
+}
+
+/// Compiles an elaborated module: the equivalent of a `compile` run of the
+/// commercial tool the paper used, including its partial-evaluation
+/// behaviour.
+///
+/// # Errors
+///
+/// Returns [`SynthError::InvalidNetlist`] if the input netlist is
+/// malformed. FSM extraction failures are *not* errors: like the real tool,
+/// the flow silently skips the pass (recorded in `stats`).
+pub fn compile(
+    elab: &Elaborated,
+    lib: &Library,
+    opts: &SynthOptions,
+) -> Result<CompileResult, SynthError> {
+    compile_netlist(
+        elab.netlist.clone(),
+        elab.fsm.as_ref(),
+        &elab.annotations,
+        lib,
+        opts,
+    )
+}
+
+/// Compiles a raw netlist with optional FSM metadata and annotations.
+///
+/// # Errors
+///
+/// Returns [`SynthError::InvalidNetlist`] if the input netlist is malformed.
+pub fn compile_netlist(
+    mut nl: Netlist,
+    fsm: Option<&FsmNets>,
+    annotations: &[NetGroupValues],
+    lib: &Library,
+    opts: &SynthOptions,
+) -> Result<CompileResult, SynthError> {
+    nl.validate()
+        .map_err(|e| SynthError::InvalidNetlist(e.to_string()))?;
+    let mut stats: Vec<(&'static str, usize)> = Vec::new();
+
+    // 1. Baseline cleanup: constant folding plus sharing.
+    stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+    if opts.strash {
+        stats.push(("strash", crate::strash::strash(&mut nl)));
+    }
+
+    // 2. FSM re-encoding (only with metadata, like the real tool).
+    if opts.fsm_reencode {
+        if let Some(fsm) = fsm {
+            match crate::fsmreencode::fsm_reencode(&mut nl, fsm, opts) {
+                Ok(true) => {
+                    stats.push(("fsm_reencode", 1));
+                    stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+                }
+                Ok(false) => {}
+                Err(SynthError::FsmExtraction(_)) => stats.push(("fsm_reencode_skipped", 1)),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // 3. Optional retiming (Fig. 8's "Retimed" variants): forward moves
+    // flop banks past their downstream cones; backward moves them onto the
+    // inputs of their driving cones. Both expose previously flop-separated
+    // logic to combinational optimization.
+    if opts.retime {
+        let n = crate::retime::retime_forward(&mut nl, opts.collapse_support.max(16))
+            + crate::retime::retime_backward(&mut nl, opts.collapse_support.max(16));
+        stats.push(("retime", n));
+        if n > 0 {
+            stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+        }
+    }
+
+    // 4. State propagation and folding over annotated groups.
+    if opts.state_propagation && !annotations.is_empty() {
+        let n = crate::stateprop::state_propagate(&mut nl, annotations, opts.max_valueset);
+        stats.push(("state_propagation", n));
+        if n > 0 {
+            stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+        }
+    }
+
+    // 5. Collapse-and-re-cover resynthesis, then clean up again.
+    stats.push(("resynthesize", crate::resynth::resynthesize(&mut nl, opts)));
+    stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+    if opts.strash {
+        stats.push(("strash", crate::strash::strash(&mut nl)));
+    }
+
+    // 6. Technology mapping.
+    if opts.techmap {
+        stats.push(("techmap", crate::techmap::techmap(&mut nl)));
+    }
+    nl.sweep();
+    nl.validate()
+        .map_err(|e| SynthError::InvalidNetlist(e.to_string()))?;
+
+    let area = nl.area_report(lib);
+    let timing = sta(&nl, lib);
+    Ok(CompileResult {
+        netlist: nl,
+        area,
+        timing,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthir_logic::TruthTable;
+    use synthir_rtl::{elaborate, styles};
+
+    fn random_tt(inputs: usize, seed: u64) -> TruthTable {
+        TruthTable::from_fn(inputs, |m| {
+            let h = (m as u64 + 1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ seed)
+                .rotate_left(17)
+                .wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+            h >> 63 != 0
+        })
+    }
+
+    /// The Fig. 5 claim in miniature: a table-based module and a direct SOP
+    /// module for the same function compile to similar areas.
+    #[test]
+    fn table_matches_sop_after_compile() {
+        let lib = Library::vt90();
+        let opts = SynthOptions::default();
+        for seed in 0..5u64 {
+            let tts: Vec<TruthTable> = (0..4).map(|i| random_tt(5, seed * 16 + i)).collect();
+            let covers: Vec<synthir_logic::Cover> = tts
+                .iter()
+                .map(|t| synthir_logic::espresso::minimize_tt(t, None))
+                .collect();
+            let words: Vec<u128> = (0..32)
+                .map(|m| {
+                    tts.iter()
+                        .enumerate()
+                        .fold(0u128, |acc, (i, t)| acc | (u128::from(t.eval(m)) << i))
+                })
+                .collect();
+            let sop = styles::sop_module("sop", 5, &covers);
+            let tab = styles::table_module("tab", 5, 4, &words);
+            let r_sop = compile(&elaborate(&sop).unwrap(), &lib, &opts).unwrap();
+            let r_tab = compile(&elaborate(&tab).unwrap(), &lib, &opts).unwrap();
+            // Equivalent results...
+            let res = synthir_sim::check_comb_equiv(
+                &r_sop.netlist,
+                &r_tab.netlist,
+                &synthir_sim::EquivOptions::new(),
+            )
+            .unwrap();
+            assert!(res.is_equivalent(), "seed {seed}: {res:?}");
+            // ...with areas within 40% of each other.
+            let a = r_sop.area.total();
+            let b = r_tab.area.total();
+            assert!(
+                (a - b).abs() / a.max(b) < 0.4,
+                "seed {seed}: sop {a:.1} vs table {b:.1}"
+            );
+        }
+    }
+
+    /// The partial-evaluation headline: the programmable table costs flops
+    /// and read logic; the bound table costs neither.
+    #[test]
+    fn bound_table_removes_all_sequential_area() {
+        let lib = Library::vt90();
+        let opts = SynthOptions::default();
+        let words: Vec<u128> = (0..16).map(|m| (m as u128 * 7) & 0x7).collect();
+        let full = styles::table_module_programmable("full", 4, 3);
+        let auto = styles::table_module("auto", 4, 3, &words);
+        let r_full = compile(&elaborate(&full).unwrap(), &lib, &opts).unwrap();
+        let r_auto = compile(&elaborate(&auto).unwrap(), &lib, &opts).unwrap();
+        assert!(r_full.area.sequential > 0.0);
+        assert_eq!(r_auto.area.sequential, 0.0);
+        assert!(r_auto.area.total() < 0.25 * r_full.area.total());
+        // And the specialized design equals the programmed flexible one
+        // (checked functionally on the combinational read path by binding
+        // the config port): here we simply check the auto result against
+        // the truth table directly.
+        let sim = synthir_sim::CombSim::new(&r_auto.netlist).unwrap();
+        let x = r_auto.netlist.input("x").unwrap().nets.clone();
+        for m in 0..16usize {
+            let sources: Vec<_> = x
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, if m >> i & 1 != 0 { u64::MAX } else { 0u64 }))
+                .collect();
+            let vals = sim.eval_with(&r_auto.netlist, &sources);
+            let y = r_auto.netlist.output("y").unwrap().nets.clone();
+            let mut got = 0u128;
+            for (i, &n) in y.iter().enumerate() {
+                if vals[n.index()] & 1 != 0 {
+                    got |= 1 << i;
+                }
+            }
+            assert_eq!(got, words[m], "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn compile_reports_stats_and_timing() {
+        let lib = Library::vt90();
+        let words: Vec<u128> = (0..8).map(|m| m as u128 % 2).collect();
+        let tab = styles::table_module("t", 3, 1, &words);
+        let r = compile(&elaborate(&tab).unwrap(), &lib, &SynthOptions::default()).unwrap();
+        assert!(!r.stats.is_empty());
+        assert!(r.timing.critical_delay >= 0.0);
+        assert!(r.timing.meets(5.0), "tiny logic must meet 5ns");
+    }
+}

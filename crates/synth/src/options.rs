@@ -1,0 +1,105 @@
+//! Synthesis options — the knobs the paper's experiments sweep.
+
+/// State-encoding styles for FSM re-encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FsmEncoding {
+    /// Minimum-length binary codes `0..n`.
+    Binary,
+    /// One flop per state.
+    OneHot,
+    /// Binary-reflected Gray codes.
+    Gray,
+    /// Keep the original codes (prune unreachables only).
+    Keep,
+}
+
+/// Options controlling [`crate::flow::compile`].
+#[derive(Clone, Debug)]
+pub struct SynthOptions {
+    /// Maximum cone support for collapse-and-re-cover resynthesis.
+    /// Models the tool's effort limit; cones wider than this keep their
+    /// structural form.
+    pub collapse_support: usize,
+    /// Skip resynthesis acceptance when the minimized cover exceeds this
+    /// many cubes (protects parity-like functions from exponential covers).
+    pub max_cover_cubes: usize,
+    /// Maximum value-set size considered by state propagation (`k` in the
+    /// paper). Annotations with more values are ignored, which reproduces
+    /// the paper's observation that manual annotation stops helping beyond
+    /// 32-bit one-hot subfields.
+    pub max_valueset: usize,
+    /// Run the state-propagation pass at all.
+    pub state_propagation: bool,
+    /// Run forward retiming before optimization (Fig. 8's "Retimed"
+    /// variants).
+    pub retime: bool,
+    /// Run FSM re-encoding when FSM metadata is present.
+    pub fsm_reencode: bool,
+    /// Encoding used by FSM re-encoding.
+    pub fsm_encoding: FsmEncoding,
+    /// Enumeration budget (state × input combinations) for FSM extraction.
+    pub fsm_enum_limit: usize,
+    /// Run structural hashing.
+    pub strash: bool,
+    /// Run technology mapping (NAND/NOR/AOI conversion).
+    pub techmap: bool,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            collapse_support: 14,
+            max_cover_cubes: 96,
+            max_valueset: 32,
+            state_propagation: true,
+            retime: false,
+            fsm_reencode: true,
+            fsm_encoding: FsmEncoding::Binary,
+            fsm_enum_limit: 1 << 18,
+            strash: true,
+            techmap: true,
+        }
+    }
+}
+
+impl SynthOptions {
+    /// The default `compile` recipe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns options with retiming enabled.
+    pub fn with_retime(mut self) -> Self {
+        self.retime = true;
+        self
+    }
+
+    /// Returns options with a specific FSM encoding.
+    pub fn with_fsm_encoding(mut self, enc: FsmEncoding) -> Self {
+        self.fsm_encoding = enc;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_limits() {
+        let o = SynthOptions::default();
+        assert_eq!(o.max_valueset, 32);
+        assert!(o.state_propagation);
+        assert!(!o.retime);
+        assert!(o.fsm_reencode);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let o = SynthOptions::new()
+            .with_retime()
+            .with_fsm_encoding(FsmEncoding::OneHot);
+        assert!(o.retime);
+        assert_eq!(o.fsm_encoding, FsmEncoding::OneHot);
+    }
+}

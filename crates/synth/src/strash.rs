@@ -1,0 +1,151 @@
+//! Structural hashing: merging identical gates.
+//!
+//! After table collapse and resynthesis, many cones share identical product
+//! terms; merging them models the sharing a synthesis tool extracts and is
+//! required for multi-output tables to approach direct-implementation area.
+
+use std::collections::HashMap;
+use synthir_netlist::{GateKind, NetId, Netlist};
+
+/// Runs structural hashing to a fixpoint. Returns the number of merges.
+pub fn strash(nl: &mut Netlist) -> usize {
+    let mut total = 0;
+    loop {
+        let n = strash_once(nl);
+        total += n;
+        nl.sweep();
+        if n == 0 {
+            break;
+        }
+    }
+    total
+}
+
+fn strash_once(nl: &mut Netlist) -> usize {
+    let Ok(order) = synthir_netlist::topo::topological_order(nl) else {
+        return 0;
+    };
+    let mut table: HashMap<(GateKind, Vec<NetId>), NetId> = HashMap::new();
+    let mut merges = 0;
+    for gid in order {
+        if !nl.is_live(gid) {
+            continue;
+        }
+        let gate = nl.gate(gid).clone();
+        if gate.kind.is_sequential() {
+            // Merging flops is only sound when D, reset kind and init all
+            // match; conservative and rarely profitable here — skip.
+            continue;
+        }
+        let key = (gate.kind, normalize_inputs(gate.kind, &gate.inputs));
+        match table.get(&key) {
+            Some(&existing) if existing != gate.output => {
+                nl.replace_net_uses(gate.output, existing);
+                merges += 1;
+            }
+            Some(_) => {}
+            None => {
+                table.insert(key, gate.output);
+            }
+        }
+    }
+    merges
+}
+
+/// Sorts the inputs of commutative gates so permuted duplicates hash alike.
+fn normalize_inputs(kind: GateKind, inputs: &[NetId]) -> Vec<NetId> {
+    use GateKind::*;
+    let mut v = inputs.to_vec();
+    match kind {
+        And2 | And3 | And4 | Or2 | Or3 | Or4 | Nand2 | Nand3 | Nand4 | Nor2 | Nor3 | Nor4
+        | Xor2 | Xnor2 => v.sort(),
+        Aoi21 | Oai21 => {
+            // (a, b) symmetric; c fixed.
+            if v[0] > v[1] {
+                v.swap(0, 1);
+            }
+        }
+        Aoi22 | Oai22 => {
+            // (a,b) and (c,d) symmetric, and the pairs commute.
+            if v[0] > v[1] {
+                v.swap(0, 1);
+            }
+            if v[2] > v[3] {
+                v.swap(2, 3);
+            }
+            if (v[0], v[1]) > (v[2], v[3]) {
+                v.swap(0, 2);
+                v.swap(1, 3);
+            }
+        }
+        _ => {}
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_identical_gates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 1)[0];
+        let b = nl.add_input("b", 1)[0];
+        let x = nl.add_gate(GateKind::And2, &[a, b]);
+        let y = nl.add_gate(GateKind::And2, &[b, a]); // permuted duplicate
+        let z = nl.add_gate(GateKind::Or2, &[x, y]);
+        nl.add_output("z", &[z]);
+        let merges = strash(&mut nl);
+        assert_eq!(merges, 1);
+        // Or2(x, x) remains (const_fold would collapse it further).
+        assert_eq!(nl.num_gates(), 2);
+    }
+
+    #[test]
+    fn cascading_merges() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 1)[0];
+        let b = nl.add_input("b", 1)[0];
+        let x1 = nl.add_gate(GateKind::And2, &[a, b]);
+        let x2 = nl.add_gate(GateKind::And2, &[a, b]);
+        let y1 = nl.add_gate(GateKind::Inv, &[x1]);
+        let y2 = nl.add_gate(GateKind::Inv, &[x2]);
+        nl.add_output("p", &[y1]);
+        nl.add_output("q", &[y2]);
+        let merges = strash(&mut nl);
+        assert_eq!(merges, 2);
+        assert_eq!(nl.num_gates(), 2);
+        assert_eq!(nl.output_nets()[0], nl.output_nets()[1]);
+    }
+
+    #[test]
+    fn flops_not_merged() {
+        use synthir_netlist::ResetKind;
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d", 1)[0];
+        let kind = GateKind::Dff {
+            reset: ResetKind::None,
+            init: false,
+        };
+        let q1 = nl.add_gate(kind, &[d]);
+        let q2 = nl.add_gate(kind, &[d]);
+        nl.add_output("a", &[q1]);
+        nl.add_output("b", &[q2]);
+        assert_eq!(strash(&mut nl), 0);
+        assert_eq!(nl.flop_count(), 2);
+    }
+
+    #[test]
+    fn mux_inputs_not_reordered() {
+        let mut nl = Netlist::new("t");
+        let s = nl.add_input("s", 1)[0];
+        let a = nl.add_input("a", 1)[0];
+        let b = nl.add_input("b", 1)[0];
+        let m1 = nl.add_gate(GateKind::Mux2, &[s, a, b]);
+        let m2 = nl.add_gate(GateKind::Mux2, &[s, b, a]);
+        nl.add_output("x", &[m1]);
+        nl.add_output("y", &[m2]);
+        assert_eq!(strash(&mut nl), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! A microcoded DMA engine controller: microprogram IR → sequencer
+//! hardware → partial evaluation.
+//!
+//! The controller runs a classic descriptor loop: fetch descriptor, copy
+//! burst-by-burst (conditional on `more`), raise an interrupt, wait. Its
+//! microinstruction format is horizontal, with a one-hot engine-select
+//! field — the non-optimally encoded signal the paper's state-folding
+//! machinery targets.
+//!
+//! Run with `cargo run --example microcoded_dma`.
+
+use std::collections::HashMap;
+use synthir::core::microcode::{Field, MicroProgram, MicrocodeFormat, NextCtl};
+use synthir::core::pe::compile_module;
+use synthir::core::sequencer::{generate, SequencerOptions};
+use synthir::netlist::Library;
+use synthir::rtl::elaborate;
+use synthir::sim::SeqSim;
+use synthir::synth::SynthOptions;
+
+const COND_START: usize = 0;
+const COND_MORE: usize = 1;
+
+fn dma_program() -> MicroProgram {
+    let fmt = MicrocodeFormat::new(vec![
+        Field::one_hot("engine", 4), // which copy engine fires
+        Field::binary("burst", 3),   // burst length - 1
+        Field::binary("fetch", 1),   // descriptor fetch strobe
+        Field::binary("irq", 1),     // completion interrupt
+    ]);
+    let mut p = MicroProgram::new("dma", fmt, 2);
+    // 0: wait for start.
+    p.emit(&[], NextCtl::CondJump { cond: COND_START, target: 2 });
+    p.emit(&[], NextCtl::Jump(0));
+    // 2: fetch the descriptor.
+    p.emit(&[("fetch", 1)], NextCtl::Seq);
+    // 3-4: copy loop: engine 0 reads, engine 1 writes.
+    p.emit(&[("engine", 0b0001), ("burst", 7)], NextCtl::Seq);
+    p.emit(&[("engine", 0b0010), ("burst", 7)], NextCtl::CondJump {
+        cond: COND_MORE,
+        target: 3,
+    });
+    // 5: interrupt, back to idle.
+    p.emit(&[("irq", 1)], NextCtl::Jump(0));
+    p
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = dma_program();
+    program.validate()?;
+    println!(
+        "dma microprogram: {} instructions, {} reachable, control word fields: {:?}",
+        program.instrs().len(),
+        program.reachable_addresses().len(),
+        program
+            .format()
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    // Flexible vs bound sequencer hardware.
+    let full = generate(
+        &program,
+        SequencerOptions {
+            flexible: true,
+            register_outputs: true,
+            ..Default::default()
+        },
+    )?;
+    let bound = generate(
+        &program,
+        SequencerOptions {
+            register_outputs: true,
+            annotate_fsm: true,
+            annotate_fields: true,
+            ..Default::default()
+        },
+    )?;
+    let lib = Library::vt90();
+    let opts = SynthOptions::default();
+    let r_full = compile_module(&full, &lib, &opts)?;
+    let r_bound = compile_module(&bound, &lib, &opts)?;
+    println!("flexible sequencer : {}", r_full.area);
+    println!("specialized        : {}", r_bound.area);
+    println!(
+        "savings            : {:.1}%",
+        100.0 * (1.0 - r_bound.area.total() / r_full.area.total())
+    );
+
+    // Drive the specialized hardware through one descriptor with two
+    // bursts and watch the engines fire.
+    let elab = elaborate(&bound)?;
+    let mut sim = SeqSim::new(&elab.netlist)?;
+    let mut cond = |v: u128| {
+        let mut m = HashMap::new();
+        m.insert("cond".to_string(), v);
+        m
+    };
+    let start = cond(1 << COND_START);
+    let more = cond(1 << COND_MORE);
+    let idle = cond(0);
+    sim.step(&start);
+    let mut engines = Vec::new();
+    for inputs in [&idle, &idle, &more, &idle, &idle, &idle, &idle] {
+        let out = sim.step(inputs);
+        engines.push(out["engine"]);
+    }
+    println!("engine trace       : {engines:?}");
+    assert!(engines.contains(&0b0001) && engines.contains(&0b0010));
+    Ok(())
+}

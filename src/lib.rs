@@ -1,0 +1,55 @@
+//! # synthir
+//!
+//! Microcode and FSM-table **intermediate representations for controllers
+//! in chip generators**, together with the partial-evaluating logic
+//! synthesis engine needed to specialize them — a from-scratch Rust
+//! reproduction of *Kelley, Wachs, Danowitz, Stevenson, Richardson,
+//! Horowitz: "Intermediate Representations for Controllers in Chip
+//! Generators", DATE 2011*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`logic`] — boolean kernel (truth tables, covers, espresso, BDDs,
+//!   value sets);
+//! * [`netlist`] — gate-level IR and the synthetic `vt90` cell library;
+//! * [`rtl`] — RTL IR, elaboration, and the paper's coding styles;
+//! * [`synth`] — the synthesis flow: constant folding, state propagation
+//!   and folding, resynthesis, FSM re-encoding, retiming, techmap, STA;
+//! * [`sim`] — simulation and equivalence checking;
+//! * [`core`] — the paper's contribution: controller IRs (FSM specs,
+//!   microprograms, sequencers), annotation derivation, the PE driver;
+//! * [`pctrl`] — the Smart Memories protocol-controller model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use synthir::core::random::random_fsm;
+//! use synthir::core::pe::evaluate_pair;
+//! use synthir::netlist::Library;
+//! use synthir::synth::SynthOptions;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A random 5-state controller, as a flexible (programmable) design and
+//! // as a table-specialized instance.
+//! let spec = random_fsm(2, 4, 5, 42);
+//! let cmp = evaluate_pair(
+//!     &spec.to_programmable_module(),
+//!     &spec.to_table_module(false),
+//!     &Library::vt90(),
+//!     &SynthOptions::default(),
+//! )?;
+//! assert!(cmp.savings() > 0.5); // PE removes most of the flexible area
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use smpctrl as pctrl;
+pub use synthir_core as core;
+pub use synthir_logic as logic;
+pub use synthir_netlist as netlist;
+pub use synthir_rtl as rtl;
+pub use synthir_sim as sim;
+pub use synthir_synth as synth;

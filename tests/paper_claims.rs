@@ -1,0 +1,176 @@
+//! Integration tests pinning the paper's qualitative claims — the
+//! executable form of EXPERIMENTS.md.
+
+use synthir::netlist::Library;
+use synthir::synth::SynthOptions;
+
+/// §III-A / Fig. 5: partial evaluation of combinational tables lands near
+/// the direct SOP implementation.
+#[test]
+fn fig5_tables_match_sop() {
+    let pts = synthir_bench_shim::fig5_quick();
+    for p in &pts {
+        assert!(p.1 > 0.0);
+        let ratio = p.2 / p.1;
+        assert!(ratio > 0.6 && ratio < 1.5, "{}: {ratio:.3}", p.0);
+    }
+}
+
+/// §III-A / Fig. 6: annotation closes the gap between the table and case
+/// styles, most visibly at non-power-of-two state counts.
+#[test]
+fn fig6_annotation_closes_gap() {
+    use synthir::core::random::random_fsm;
+    use synthir::rtl::elaborate;
+    use synthir::synth::compile;
+    let lib = Library::vt90();
+    let opts = SynthOptions::default();
+    // s = 3: the non-power-of-two state count where the unused code hurts
+    // the unannotated table most (the paper's worst case together with 17).
+    let spec = random_fsm(2, 4, 3, 0);
+    let case = compile(&elaborate(&spec.to_case_module()).unwrap(), &lib, &opts)
+        .unwrap()
+        .area
+        .total();
+    let plain = compile(
+        &elaborate(&spec.to_table_module(false)).unwrap(),
+        &lib,
+        &opts,
+    )
+    .unwrap()
+    .area
+    .total();
+    let anno = compile(
+        &elaborate(&spec.to_table_module(true)).unwrap(),
+        &lib,
+        &opts,
+    )
+    .unwrap()
+    .area
+    .total();
+    assert!(plain >= anno * 0.999, "plain {plain:.0} anno {anno:.0}");
+    let gap = (anno - case).abs() / case;
+    assert!(gap < 0.15, "annotated-vs-case gap {gap:.3}");
+    assert!(plain > case * 1.02, "plain {plain:.0} must exceed case {case:.0}");
+}
+
+/// §III-B / Fig. 8: state propagation works combinationally, stops at flop
+/// boundaries, and is restored by annotation for n <= 32 only.
+#[test]
+fn fig8_flop_boundary_behaviour() {
+    use synthir_bench_shim::fig8_point;
+    // No flop: ideal.
+    let r = fig8_point(16, "none", "regular");
+    assert!((r - 1.0).abs() < 0.05, "no-flop ratio {r:.3}");
+    // Sync flop, regular: blocked.
+    let r = fig8_point(16, "sync", "regular");
+    assert!(r > 1.1, "sync regular ratio {r:.3}");
+    // Sync flop, annotated: restored.
+    let r = fig8_point(16, "sync", "annotated");
+    assert!((r - 1.0).abs() < 0.05, "sync annotated ratio {r:.3}");
+    // Beyond the 32-value effort limit the annotation is ignored.
+    let r = fig8_point(64, "sync", "annotated");
+    assert!(r > 1.05, "n=64 annotated ratio {r:.3}");
+}
+
+/// §III-C / Fig. 9: Auto halves Full; Manual's extra gain concentrates in
+/// the uncached configuration. (Covered in depth by smpctrl's tests; this
+/// is the cross-crate smoke check on one configuration.)
+#[test]
+fn fig9_auto_halves_full() {
+    use synthir::pctrl::{synthesize, Flavor, MemoryConfig};
+    let lib = Library::vt90();
+    let opts = SynthOptions::default();
+    let cfg = MemoryConfig::cached();
+    let full = synthesize(&cfg, Flavor::Full, &lib, &opts).unwrap();
+    let auto = synthesize(&cfg, Flavor::Auto, &lib, &opts).unwrap();
+    let seq_ratio = auto.area.sequential / full.area.sequential;
+    let comb_ratio = auto.area.combinational / full.area.combinational;
+    assert!(seq_ratio > 0.3 && seq_ratio < 0.75, "seq ratio {seq_ratio:.3}");
+    assert!(comb_ratio > 0.3 && comb_ratio < 0.75, "comb ratio {comb_ratio:.3}");
+}
+
+/// Minimal local reimplementations of the bench harness entry points (the
+/// bench crate is not a dependency of the facade, to keep the dependency
+/// graph acyclic).
+mod synthir_bench_shim {
+    use synthir::core::random::random_table;
+    use synthir::logic::{Cover, TruthTable, ValueSet};
+    use synthir::netlist::Library;
+    use synthir::rtl::{elaborate, styles, Expr, Module, RegReset, Register, ResetKind};
+    use synthir::synth::{compile, SynthOptions};
+
+    pub fn fig5_quick() -> Vec<(String, f64, f64)> {
+        let lib = Library::vt90();
+        let opts = SynthOptions::default();
+        let mut out = Vec::new();
+        for (d, w) in [(16usize, 4usize), (64, 4)] {
+            let words = random_table(d, w, 5);
+            let abits = d.trailing_zeros() as usize;
+            let covers: Vec<Cover> = (0..w)
+                .map(|b| {
+                    let tt = TruthTable::from_fn(abits, |m| words[m] >> b & 1 != 0);
+                    synthir::logic::espresso::minimize_tt(&tt, None)
+                })
+                .collect();
+            let sop = styles::sop_module("s", abits, &covers);
+            let tab = styles::table_module("t", abits, w, &words);
+            let a = compile(&elaborate(&sop).unwrap(), &lib, &opts).unwrap();
+            let b = compile(&elaborate(&tab).unwrap(), &lib, &opts).unwrap();
+            out.push((format!("d{d}w{w}"), a.area.total(), b.area.total()));
+        }
+        out
+    }
+
+    pub fn fig8_point(n: usize, flop: &str, series: &str) -> f64 {
+        let lib = Library::vt90();
+        let opts = SynthOptions::default();
+        let build = |generic: bool| -> Module {
+            let sel_bits = n.trailing_zeros() as usize;
+            let mut m = Module::new("f8");
+            m.add_input("sel", sel_bits);
+            m.add_input("a", 1);
+            m.add_input("b", 1);
+            let dec: Vec<Expr> = (0..n)
+                .map(|i| Expr::reference("sel").eq_const(sel_bits, i as u128))
+                .collect();
+            m.add_wire("y", n, Expr::concat(dec));
+            let bus = if flop == "none" {
+                "y".to_string()
+            } else {
+                let kind = match flop {
+                    "plain" => ResetKind::None,
+                    "sync" => ResetKind::Sync,
+                    _ => ResetKind::Async,
+                };
+                m.add_register(Register {
+                    name: "r".into(),
+                    width: n,
+                    next: Expr::reference("y"),
+                    reset: RegReset { kind, value: 0 },
+                });
+                "r".to_string()
+            };
+            m.add_output("bus", n, Expr::reference(&bus));
+            if generic {
+                let shifted = Expr::reference(&bus).shl_const(n, 1);
+                m.add_wire("any", 1, Expr::reference(&bus).and(shifted).reduce_or());
+                m.add_output(
+                    "z",
+                    1,
+                    Expr::reference("any").mux(Expr::reference("a"), Expr::reference("b")),
+                );
+            } else {
+                m.add_output("z", 1, Expr::reference("a"));
+            }
+            m
+        };
+        let direct = compile(&elaborate(&build(false)).unwrap(), &lib, &opts).unwrap();
+        let mut generic = build(true);
+        if series == "annotated" && flop != "none" {
+            generic.annotate("r", ValueSet::one_hot(n as u32));
+        }
+        let g = compile(&elaborate(&generic).unwrap(), &lib, &opts).unwrap();
+        g.area.total() / direct.area.total()
+    }
+}
