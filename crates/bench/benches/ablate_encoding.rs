@@ -12,7 +12,12 @@ fn bench(c: &mut Criterion) {
     let elab = elaborate(&module).unwrap();
     let mut g = c.benchmark_group("ablate_encoding");
     g.sample_size(10);
-    for enc in [FsmEncoding::Binary, FsmEncoding::OneHot, FsmEncoding::Gray, FsmEncoding::Keep] {
+    for enc in [
+        FsmEncoding::Binary,
+        FsmEncoding::OneHot,
+        FsmEncoding::Gray,
+        FsmEncoding::Keep,
+    ] {
         g.bench_function(format!("{enc:?}"), |b| {
             let opts = SynthOptions::default().with_fsm_encoding(enc);
             b.iter(|| compile(&elab, &lib, &opts).unwrap())

@@ -1,7 +1,9 @@
-//! Ablation: espresso with and without the REDUCE phase.
+//! Ablation: espresso with and without the REDUCE phase, plus the
+//! pre-optimization (naive) kernel and serial-vs-batch drivers for scale.
 use criterion::{criterion_group, criterion_main, Criterion};
 use synthir_core::random::random_table;
-use synthir_logic::espresso::{minimize, EspressoOptions};
+use synthir_logic::espresso::{minimize, minimize_tt_batch, EspressoOptions};
+use synthir_logic::naive::minimize_naive;
 use synthir_logic::{Cover, TruthTable};
 
 fn bench(c: &mut Criterion) {
@@ -24,6 +26,18 @@ fn bench(c: &mut Criterion) {
                 },
             )
         })
+    });
+    // The seed kernel on the same cover: the URP rework's win at 8 vars.
+    g.bench_function("espresso_naive_kernel", |b| {
+        b.iter(|| minimize_naive(&on, None, &EspressoOptions::default()))
+    });
+    // Multi-output batch driver (parallel under the `parallel` feature).
+    let wide = random_table(256, 16, 7);
+    let tts: Vec<TruthTable> = (0..16)
+        .map(|bit| TruthTable::from_fn(8, |m| wide[m] >> bit & 1 != 0))
+        .collect();
+    g.bench_function("batch_16_outputs", |b| {
+        b.iter(|| minimize_tt_batch(&tts, None, &EspressoOptions::default()))
     });
     g.finish();
 }

@@ -5,9 +5,7 @@ use synthir_bench::fig5;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
-    g.bench_function("table_vs_sop_d64_w4", |b| {
-        b.iter(|| fig5::sample(64, 4, 1))
-    });
+    g.bench_function("table_vs_sop_d64_w4", |b| b.iter(|| fig5::sample(64, 4, 1)));
     g.finish();
 }
 

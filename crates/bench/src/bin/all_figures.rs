@@ -4,7 +4,11 @@ use synthir_bench::*;
 
 fn main() {
     let f5 = fig5::run(&fig5::quick_grid(), 1);
-    println!("fig5: {} points, geomean table/sop = {:.3}", f5.len(), geomean_ratio(&f5));
+    println!(
+        "fig5: {} points, geomean table/sop = {:.3}",
+        f5.len(),
+        geomean_ratio(&f5)
+    );
 
     let f6r = fig6::run(&fig6::quick_grid(), 1, fig6::Fig6Series::Regular);
     let f6a = fig6::run(&fig6::quick_grid(), 1, fig6::Fig6Series::StateAnnotated);
@@ -15,16 +19,27 @@ fn main() {
     );
 
     let widths = vec![4, 16, 64];
-    for series in [fig8::Fig8Series::Regular, fig8::Fig8Series::Retimed, fig8::Fig8Series::StateAnnotated] {
+    for series in [
+        fig8::Fig8Series::Regular,
+        fig8::Fig8Series::Retimed,
+        fig8::Fig8Series::StateAnnotated,
+    ] {
         let pts = fig8::run(&widths, series);
         let worst = pts.iter().map(|p| p.ratio()).fold(0.0f64, f64::max);
-        println!("fig8 {series:?}: geomean = {:.3}, worst = {:.3}", geomean_ratio(&pts), worst);
+        println!(
+            "fig8 {series:?}: geomean = {:.3}, worst = {:.3}",
+            geomean_ratio(&pts),
+            worst
+        );
     }
 
     for row in fig9::run() {
         println!(
             "fig9 {:>13} {:>6}: comb {:9.1} seq {:9.1}",
-            row.config, row.flavor.to_string(), row.area.combinational, row.area.sequential
+            row.config,
+            row.flavor.to_string(),
+            row.area.combinational,
+            row.area.sequential
         );
     }
 }

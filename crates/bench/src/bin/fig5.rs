@@ -3,7 +3,11 @@ use synthir_bench::{fig5, geomean_ratio, to_csv};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let grid = if quick { fig5::quick_grid() } else { fig5::paper_grid() };
+    let grid = if quick {
+        fig5::quick_grid()
+    } else {
+        fig5::paper_grid()
+    };
     let samples = if quick { 1 } else { 2 };
     let pts = fig5::run(&grid, samples);
     println!("{}", to_csv(&pts, "sop_area_um2", "table_area_um2"));

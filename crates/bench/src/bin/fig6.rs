@@ -3,9 +3,13 @@ use synthir_bench::{fig6, geomean_ratio, to_csv};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let grid = if quick { fig6::quick_grid() } else { fig6::paper_grid() };
+    let grid = if quick {
+        fig6::quick_grid()
+    } else {
+        fig6::paper_grid()
+    };
     let samples = 1; // m=8 cells elaborate 8k-entry tables; one seed keeps the
-                      // full grid to minutes. Raise for tighter statistics.
+                     // full grid to minutes. Raise for tighter statistics.
     for series in [fig6::Fig6Series::Regular, fig6::Fig6Series::StateAnnotated] {
         let pts = fig6::run(&grid, samples, series);
         println!("## series {series:?}");

@@ -3,7 +3,11 @@ use synthir_bench::{fig8, to_csv};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let widths = if quick { vec![4, 16, 64] } else { fig8::paper_widths() };
+    let widths = if quick {
+        vec![4, 16, 64]
+    } else {
+        fig8::paper_widths()
+    };
     for series in [
         fig8::Fig8Series::Regular,
         fig8::Fig8Series::Retimed,

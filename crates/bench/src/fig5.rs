@@ -39,13 +39,16 @@ pub fn sample(depth: usize, width: usize, seed: u64) -> AreaPoint {
     let words = random_table(depth, width, seed);
     let abits = depth.trailing_zeros() as usize;
 
-    // Direct style: minimized sum-of-products assignments per output bit.
-    let covers: Vec<Cover> = (0..width)
-        .map(|b| {
-            let tt = TruthTable::from_fn(abits, |m| words[m] >> b & 1 != 0);
-            synthir_logic::espresso::minimize_tt(&tt, None)
-        })
+    // Direct style: minimized sum-of-products assignments per output bit,
+    // minimized as one batch (concurrently under the `parallel` feature).
+    let tts: Vec<TruthTable> = (0..width)
+        .map(|b| TruthTable::from_fn(abits, |m| words[m] >> b & 1 != 0))
         .collect();
+    let covers: Vec<Cover> = synthir_logic::espresso::minimize_tt_batch(
+        &tts,
+        None,
+        &synthir_logic::espresso::EspressoOptions::default(),
+    );
     let sop = styles::sop_module(format!("sop_d{depth}_w{width}_s{seed}"), abits, &covers);
     let table = styles::table_module(
         format!("tab_d{depth}_w{width}_s{seed}"),
@@ -62,15 +65,17 @@ pub fn sample(depth: usize, width: usize, seed: u64) -> AreaPoint {
     }
 }
 
-/// Runs the experiment over a grid with `samples` seeds per cell.
+/// Runs the experiment over a grid with `samples` seeds per cell. Design
+/// points are independent, so they are synthesized concurrently (in grid
+/// order) when the `parallel` feature is enabled.
 pub fn run(grid: &[(usize, usize)], samples: u64) -> Vec<AreaPoint> {
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
     for &(d, w) in grid {
         for seed in 0..samples {
-            out.push(sample(d, w, seed));
+            jobs.push((d, w, seed));
         }
     }
-    out
+    synthir_logic::par::par_map(&jobs, |&(d, w, seed)| sample(d, w, seed))
 }
 
 #[cfg(test)]

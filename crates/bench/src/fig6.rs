@@ -58,19 +58,17 @@ pub fn sample(m: usize, n: usize, s: usize, seed: u64, series: Fig6Series) -> Ar
     }
 }
 
-/// Runs a series over a grid with `samples` seeds per cell.
-pub fn run(
-    grid: &[(usize, usize, usize)],
-    samples: u64,
-    series: Fig6Series,
-) -> Vec<AreaPoint> {
-    let mut out = Vec::new();
+/// Runs a series over a grid with `samples` seeds per cell. Design points
+/// are independent, so they are synthesized concurrently (in grid order)
+/// when the `parallel` feature is enabled.
+pub fn run(grid: &[(usize, usize, usize)], samples: u64, series: Fig6Series) -> Vec<AreaPoint> {
+    let mut jobs = Vec::new();
     for &(m, n, s) in grid {
         for seed in 0..samples {
-            out.push(sample(m, n, s, seed, series));
+            jobs.push((m, n, s, seed));
         }
     }
-    out
+    synthir_logic::par::par_map(&jobs, |&(m, n, s, seed)| sample(m, n, s, seed, series))
 }
 
 #[cfg(test)]

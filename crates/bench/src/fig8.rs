@@ -56,9 +56,12 @@ pub enum Fig8Series {
 /// (the one-hot bus, the design's payload) and `z` (the consumer output
 /// whose mux is redundant under the one-hot invariant).
 pub fn fig8_module(n: usize, flop: FlopVariant, generic: bool) -> Module {
-    assert!(n.is_power_of_two() && n >= 2 && n <= 128);
+    assert!(n.is_power_of_two() && (2..=128).contains(&n));
     let sel_bits = n.trailing_zeros() as usize;
-    let mut m = Module::new(format!("fig8_n{n}_{flop:?}_{}", if generic { "gen" } else { "dir" }));
+    let mut m = Module::new(format!(
+        "fig8_n{n}_{flop:?}_{}",
+        if generic { "gen" } else { "dir" }
+    ));
     m.add_input("sel", sel_bits);
     m.add_input("a", 1);
     m.add_input("b", 1);
@@ -109,8 +112,8 @@ pub fn sample(n: usize, flop: FlopVariant, series: Fig8Series) -> AreaPoint {
     let lib = Library::vt90();
     let direct = fig8_module(n, flop, false);
     let base_opts = SynthOptions::default();
-    let r_direct = compile(&elaborate(&direct).expect("elaborates"), &lib, &base_opts)
-        .expect("compiles");
+    let r_direct =
+        compile(&elaborate(&direct).expect("elaborates"), &lib, &base_opts).expect("compiles");
 
     let mut generic = fig8_module(n, flop, true);
     let opts = match series {
@@ -166,7 +169,11 @@ mod tests {
     #[test]
     fn flops_block_propagation_until_annotated() {
         let regular = sample(8, FlopVariant::SyncReset, Fig8Series::Regular);
-        assert!(regular.ratio() > 1.1, "regular ratio {:.3}", regular.ratio());
+        assert!(
+            regular.ratio() > 1.1,
+            "regular ratio {:.3}",
+            regular.ratio()
+        );
         let anno = sample(8, FlopVariant::SyncReset, Fig8Series::StateAnnotated);
         assert!(
             (anno.ratio() - 1.0).abs() < 0.05,
@@ -187,7 +194,15 @@ mod tests {
         let asyncr = sample(8, FlopVariant::AsyncReset, Fig8Series::Retimed);
         // Reset-less flops retime (and may beat the direct baseline, which
         // keeps its n flops); async-reset flops do not.
-        assert!(plain.ratio() < 1.0, "plain retimed ratio {:.3}", plain.ratio());
-        assert!(asyncr.ratio() > 1.1, "async retimed ratio {:.3}", asyncr.ratio());
+        assert!(
+            plain.ratio() < 1.0,
+            "plain retimed ratio {:.3}",
+            plain.ratio()
+        );
+        assert!(
+            asyncr.ratio() > 1.1,
+            "async retimed ratio {:.3}",
+            asyncr.ratio()
+        );
     }
 }

@@ -42,10 +42,7 @@ pub fn field_values(program: &MicroProgram) -> Vec<(String, ValueSet)> {
         .zip(program.format().fields())
         .map(|(mut set, f)| {
             set.insert(0);
-            (
-                f.name.clone(),
-                ValueSet::from_values(f.width as u32, set),
-            )
+            (f.name.clone(), ValueSet::from_values(f.width as u32, set))
         })
         .collect()
 }

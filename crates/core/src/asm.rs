@@ -120,7 +120,7 @@ pub fn assemble(
                         .format()
                         .field_index(f.trim())
                         .ok_or_else(|| err(format!("unknown field `{}`", f.trim())))?;
-                    fields[fi] = parse_value(v.trim()).map_err(|e| err(e))?;
+                    fields[fi] = parse_value(v.trim()).map_err(&err)?;
                 }
             }
             other => return Err(err(format!("unknown op `{other}`"))),

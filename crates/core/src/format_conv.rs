@@ -33,11 +33,7 @@ pub fn verticalize(p: &MicroProgram) -> Result<MicroProgram, CoreError> {
         })
         .collect();
     let format = MicrocodeFormat::new(fields);
-    let mut out = MicroProgram::new(
-        format!("{}_vertical", p.name()),
-        format,
-        p.num_conds(),
-    );
+    let mut out = MicroProgram::new(format!("{}_vertical", p.name()), format, p.num_conds());
     for (addr, i) in p.instrs().iter().enumerate() {
         let mut values = Vec::with_capacity(i.fields.len());
         for (f, &v) in p.format().fields().iter().zip(&i.fields) {
@@ -85,11 +81,7 @@ pub fn horizontalize(
         })
         .collect();
     let format = MicrocodeFormat::new(fields);
-    let mut out = MicroProgram::new(
-        format!("{}_horizontal", p.name()),
-        format,
-        p.num_conds(),
-    );
+    let mut out = MicroProgram::new(format!("{}_horizontal", p.name()), format, p.num_conds());
     for (addr, i) in p.instrs().iter().enumerate() {
         let mut values = Vec::with_capacity(i.fields.len());
         for (f, &v) in p.format().fields().iter().zip(&i.fields) {
@@ -148,8 +140,7 @@ mod tests {
     fn round_trip_preserves_program() {
         let p = random_microprogram(10, 1, 7);
         let v = verticalize(&p).unwrap();
-        let h = horizontalize(&v, &|name| if name == "unit" { Some(4) } else { None })
-            .unwrap();
+        let h = horizontalize(&v, &|name| if name == "unit" { Some(4) } else { None }).unwrap();
         assert_eq!(h.format().width(), p.format().width());
         for (a, b) in p.instrs().iter().zip(h.instrs()) {
             assert_eq!(a.fields, b.fields);
@@ -167,7 +158,11 @@ mod tests {
         for (cycle, (hf, vf)) in th.iter().zip(&tv).enumerate() {
             // Binary fields identical; one-hot field decodes to same lane.
             assert_eq!(hf[1], vf[1], "cycle {cycle} imm");
-            let lane_h = if hf[0] == 0 { 0 } else { hf[0].trailing_zeros() as u128 + 1 };
+            let lane_h = if hf[0] == 0 {
+                0
+            } else {
+                hf[0].trailing_zeros() as u128 + 1
+            };
             assert_eq!(lane_h, vf[0], "cycle {cycle} unit lane");
         }
     }

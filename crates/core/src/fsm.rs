@@ -293,11 +293,7 @@ impl FsmSpec {
                 value: self.reset.0 as u128,
             },
         });
-        m.add_output(
-            "out",
-            self.num_outputs,
-            Expr::read_mem("out_table", addr),
-        );
+        m.add_output("out", self.num_outputs, Expr::read_mem("out_table", addr));
         if annotated {
             m.set_fsm(self.fsm_info());
         }
@@ -360,36 +356,45 @@ impl FsmSpec {
         let dc = synthir_logic::TruthTable::from_fn(nvars, |mm| {
             (mm & ((1 << sb) - 1)) >= self.states.len()
         });
-        let bit_expr = |bit_fn: &dyn Fn(usize) -> bool| -> Expr {
-            let tt = synthir_logic::TruthTable::from_fn(nvars, bit_fn);
-            let cover = synthir_logic::espresso::minimize_tt(&tt, Some(&dc));
-            cover_expr_on("sel", &cover)
+        // Build the per-bit truth tables for next-state and output logic,
+        // then hand the whole multi-output PLA to the batch minimizer: each
+        // bit is an independent job, minimized concurrently under the
+        // `parallel` feature (identical results to the serial path).
+        let bit_tt = |bit_fn: &dyn Fn(usize) -> bool| -> synthir_logic::TruthTable {
+            synthir_logic::TruthTable::from_fn(nvars, bit_fn)
         };
-        let next_bits: Vec<Expr> = (0..sb)
-            .map(|b| {
-                bit_expr(&|mm| {
-                    let code = mm & ((1 << sb) - 1);
-                    if code >= self.states.len() {
-                        return false;
-                    }
-                    let input = (mm >> sb) as u64;
-                    let (n, _) = self.eval(StateId(code), input);
-                    n.0 >> b & 1 != 0
-                })
-            })
-            .collect();
+        let mut tts: Vec<synthir_logic::TruthTable> = Vec::with_capacity(sb + self.num_outputs);
+        for b in 0..sb {
+            tts.push(bit_tt(&|mm| {
+                let code = mm & ((1 << sb) - 1);
+                if code >= self.states.len() {
+                    return false;
+                }
+                let input = (mm >> sb) as u64;
+                let (n, _) = self.eval(StateId(code), input);
+                n.0 >> b & 1 != 0
+            }));
+        }
+        for b in 0..self.num_outputs {
+            tts.push(bit_tt(&|mm| {
+                let code = mm & ((1 << sb) - 1);
+                if code >= self.states.len() {
+                    return false;
+                }
+                let input = (mm >> sb) as u64;
+                let (_, o) = self.eval(StateId(code), input);
+                o >> b & 1 != 0
+            }));
+        }
+        let covers = synthir_logic::espresso::minimize_tt_batch(
+            &tts,
+            Some(&dc),
+            &synthir_logic::espresso::EspressoOptions::default(),
+        );
+        let mut exprs = covers.iter().map(|c| cover_expr_on("sel", c));
+        let next_bits: Vec<Expr> = (0..sb).map(|_| exprs.next().expect("next bit")).collect();
         let out_bits: Vec<Expr> = (0..self.num_outputs)
-            .map(|b| {
-                bit_expr(&|mm| {
-                    let code = mm & ((1 << sb) - 1);
-                    if code >= self.states.len() {
-                        return false;
-                    }
-                    let input = (mm >> sb) as u64;
-                    let (_, o) = self.eval(StateId(code), input);
-                    o >> b & 1 != 0
-                })
-            })
+            .map(|_| exprs.next().expect("output bit"))
             .collect();
         m.add_register(Register {
             name: "state".into(),
@@ -487,7 +492,7 @@ mod tests {
         let sb = f.state_bits();
         assert_eq!(next.len(), 1 << (sb + 1));
         // state 0 (green), input 1 -> yellow (1).
-        let addr = 0 | (1 << sb);
+        let addr = 1 << sb;
         assert_eq!(next[addr], 1);
         assert_eq!(out[addr], 0b001);
         // Unused code 3 rows are zero-filled.
@@ -518,12 +523,9 @@ mod tests {
         let f = traffic();
         let t = synthir_rtl::elaborate(&f.to_table_module(false)).unwrap();
         let c = synthir_rtl::elaborate(&f.to_case_module()).unwrap();
-        let res = synthir_sim::check_seq_equiv(
-            &t.netlist,
-            &c.netlist,
-            &synthir_sim::EquivOptions::new(),
-        )
-        .unwrap();
+        let res =
+            synthir_sim::check_seq_equiv(&t.netlist, &c.netlist, &synthir_sim::EquivOptions::new())
+                .unwrap();
         assert!(res.is_equivalent(), "{res:?}");
     }
 

@@ -379,6 +379,53 @@ impl MicroProgram {
         }
         sets
     }
+
+    /// Minimized sum-of-products covers of the bound control store: one
+    /// cover per packed field bit, as a function of the µPC, with
+    /// unreachable addresses (padding rows and dead microcode) as
+    /// don't-cares.
+    ///
+    /// This is the two-level form a fully partially-evaluated control store
+    /// converges to; the bits are independent outputs of one PLA, so they
+    /// are minimized as a batch (concurrently under `synthir-logic`'s
+    /// `parallel` feature, with results identical to the serial path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the µPC is wider than
+    /// [`synthir_logic::MAX_TT_INPUTS`] (a microprogram of more than 2^24
+    /// rows).
+    pub fn minimized_field_covers(&self) -> Vec<synthir_logic::Cover> {
+        let abits = self.upc_bits();
+        assert!(
+            abits <= synthir_logic::MAX_TT_INPUTS,
+            "microprogram too long to collapse to truth tables"
+        );
+        let width = self.format.width();
+        let mut reachable = vec![false; self.instrs.len()];
+        for a in self.reachable_addresses() {
+            reachable[a] = true;
+        }
+        let dc =
+            synthir_logic::TruthTable::from_fn(abits, |a| a >= self.instrs.len() || !reachable[a]);
+        let words: Vec<u128> = self
+            .instrs
+            .iter()
+            .map(|i| self.format.pack(&i.fields))
+            .collect();
+        let tts: Vec<synthir_logic::TruthTable> = (0..width)
+            .map(|b| {
+                synthir_logic::TruthTable::from_fn(abits, |a| {
+                    a < words.len() && words[a] >> b & 1 != 0
+                })
+            })
+            .collect();
+        synthir_logic::espresso::minimize_tt_batch(
+            &tts,
+            Some(&dc),
+            &synthir_logic::espresso::EspressoOptions::default(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -412,7 +459,10 @@ mod tests {
     fn emit_and_validate() {
         let mut p = MicroProgram::new("t", fmt(), 2);
         p.emit(&[("pipe", 0b0001), ("go", 1)], NextCtl::Seq);
-        p.emit(&[("pipe", 0b0010), ("len", 3)], NextCtl::CondJump { cond: 0, target: 0 });
+        p.emit(
+            &[("pipe", 0b0010), ("len", 3)],
+            NextCtl::CondJump { cond: 0, target: 0 },
+        );
         p.emit(&[], NextCtl::Halt);
         p.validate().unwrap();
         assert_eq!(p.upc_bits(), 2);
@@ -442,7 +492,10 @@ mod tests {
     fn simulate_follows_control_flow() {
         let mut p = MicroProgram::new("t", fmt(), 1);
         p.emit(&[("pipe", 0b0001)], NextCtl::Seq);
-        p.emit(&[("pipe", 0b0010)], NextCtl::CondJump { cond: 0, target: 0 });
+        p.emit(
+            &[("pipe", 0b0010)],
+            NextCtl::CondJump { cond: 0, target: 0 },
+        );
         p.emit(&[("pipe", 0b1000)], NextCtl::Halt);
         p.validate().unwrap();
         // Condition low: fall through to halt.
@@ -472,5 +525,36 @@ mod tests {
         let sets = p.field_value_sets();
         // Table depth 4 > 3 instrs: zero fill included.
         assert!(sets[0].contains(&0));
+    }
+
+    #[test]
+    fn minimized_field_covers_match_store_on_reachable_rows() {
+        let mut p = MicroProgram::new("t", fmt(), 1);
+        p.emit(&[("pipe", 0b0001), ("len", 5)], NextCtl::Seq);
+        p.emit(
+            &[("pipe", 0b0010), ("go", 1)],
+            NextCtl::CondJump { cond: 0, target: 0 },
+        );
+        p.emit(&[("pipe", 0b1000), ("len", 2)], NextCtl::Jump(4));
+        p.emit(&[("pipe", 0b0100)], NextCtl::Halt); // unreachable: 2 jumps past it
+        p.emit(&[("pipe", 0b0100), ("len", 7)], NextCtl::Halt);
+        p.validate().unwrap();
+        let covers = p.minimized_field_covers();
+        assert_eq!(covers.len(), p.format().width());
+        for a in p.reachable_addresses() {
+            let word = p.format().pack(&p.instrs()[a].fields);
+            for (b, c) in covers.iter().enumerate() {
+                assert_eq!(
+                    c.eval(a as u64),
+                    word >> b & 1 != 0,
+                    "address {a}, control bit {b}"
+                );
+            }
+        }
+        // Address 3 is unreachable, so the covers are free there — but
+        // every cover must still be a function of the 3-bit µPC only.
+        for c in &covers {
+            assert_eq!(c.nvars(), p.upc_bits());
+        }
     }
 }

@@ -30,13 +30,28 @@ pub struct Minimized {
 pub fn minimize_fsm(spec: &FsmSpec) -> Minimized {
     let reachable = spec.reachable_states();
     let minterms = 1u64 << spec.num_inputs();
+    // Thread fan-out only pays off when the signature sweeps amount to
+    // real work; small machines (the common case) stay on the serial path
+    // rather than spending more on thread spawns than on evaluation.
+    let parallel_worthwhile = reachable.len() as u64 * minterms >= 4096;
+    let signature_map = |f: &(dyn Fn(&StateId) -> Vec<u128> + Sync)| -> Vec<Vec<u128>> {
+        if parallel_worthwhile {
+            synthir_logic::par::par_map(&reachable, f)
+        } else {
+            reachable.iter().map(f).collect()
+        }
+    };
 
-    // Initial partition: states with identical output rows.
+    // Initial partition: states with identical output rows. The per-state
+    // output signatures are independent (one FSM evaluation sweep each), so
+    // they are computed concurrently; the grouping below stays serial and
+    // order-dependent, making the result identical to the serial pass.
     let mut class_of_reachable: Vec<usize> = Vec::with_capacity(reachable.len());
     {
+        let state_sigs: Vec<Vec<u128>> =
+            signature_map(&|&s| (0..minterms).map(|m| spec.eval(s, m).1).collect());
         let mut signatures: Vec<Vec<u128>> = Vec::new();
-        for &s in &reachable {
-            let sig: Vec<u128> = (0..minterms).map(|m| spec.eval(s, m).1).collect();
+        for sig in state_sigs {
             match signatures.iter().position(|x| *x == sig) {
                 Some(i) => class_of_reachable.push(i),
                 None => {
@@ -53,12 +68,23 @@ pub fn minimize_fsm(spec: &FsmSpec) -> Minimized {
         let mut new_sigs: Vec<(usize, Vec<usize>)> = Vec::new();
         let mut next_class: Vec<usize> = Vec::with_capacity(reachable.len());
         let idx_of = |s: StateId, reachable: &[StateId]| {
-            reachable.binary_search(&s).expect("closed under transition")
+            reachable
+                .binary_search(&s)
+                .expect("closed under transition")
         };
-        for (ri, &s) in reachable.iter().enumerate() {
-            let step_sig: Vec<usize> = (0..minterms)
+        // Step signatures are again independent per state: fan out (when
+        // worthwhile), then group serially.
+        let step_fn = |&s: &StateId| -> Vec<usize> {
+            (0..minterms)
                 .map(|m| class_of_reachable[idx_of(spec.eval(s, m).0, &reachable)])
-                .collect();
+                .collect()
+        };
+        let step_sigs: Vec<Vec<usize>> = if parallel_worthwhile {
+            synthir_logic::par::par_map(&reachable, step_fn)
+        } else {
+            reachable.iter().map(step_fn).collect()
+        };
+        for (ri, step_sig) in step_sigs.into_iter().enumerate() {
             let key = (class_of_reachable[ri], step_sig);
             match new_sigs.iter().position(|x| *x == key) {
                 Some(i) => next_class.push(i),
@@ -90,8 +116,8 @@ pub fn minimize_fsm(spec: &FsmSpec) -> Minimized {
             reps[c] = s;
         }
     }
-    for c in 0..n_classes {
-        mini.add_state(format!("c{c}_{}", spec.state_name(reps[c])));
+    for (c, &rep) in reps.iter().enumerate() {
+        mini.add_state(format!("c{c}_{}", spec.state_name(rep)));
     }
     let class_of_state = |s: StateId| {
         let ri = reachable.binary_search(&s).expect("reachable");

@@ -14,7 +14,10 @@ use rand::{Rng, SeedableRng};
 ///
 /// Panics if `depth` is not a power of two or `width > 128`.
 pub fn random_table(depth: usize, width: usize, seed: u64) -> Vec<u128> {
-    assert!(depth.is_power_of_two(), "table depth must be a power of two");
+    assert!(
+        depth.is_power_of_two(),
+        "table depth must be a power of two"
+    );
     assert!(width <= 128, "at most 128 output bits");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF155 ^ ((depth as u64) << 32) ^ width as u64);
     (0..depth).map(|_| random_word(&mut rng, width)).collect()
@@ -47,7 +50,7 @@ pub fn random_fsm(m: usize, n: usize, s: usize, seed: u64) -> FsmSpec {
     assert!(n <= 128, "at most 128 output bits");
     assert!(s >= 2, "at least two states");
     let mut rng = StdRng::seed_from_u64(
-        seed ^ 0xF16_6 ^ ((m as u64) << 48) ^ ((n as u64) << 32) ^ ((s as u64) << 16),
+        seed ^ 0xF166 ^ ((m as u64) << 48) ^ ((n as u64) << 32) ^ ((s as u64) << 16),
     );
     let minterms = 1usize << m;
     let next: Vec<Vec<usize>> = (0..s)

@@ -136,12 +136,7 @@ pub fn generate(p: &MicroProgram, opts: SequencerOptions) -> Result<Module, Core
         });
     } else {
         let words: Vec<u128> = (0..depth)
-            .map(|a| {
-                p.instrs()
-                    .get(a)
-                    .map(|i| layout.encode(p, i))
-                    .unwrap_or(0)
-            })
+            .map(|a| p.instrs().get(a).map(|i| layout.encode(p, i)).unwrap_or(0))
             .collect();
         m.add_memory(Memory {
             name: "ucode".into(),
@@ -151,11 +146,7 @@ pub fn generate(p: &MicroProgram, opts: SequencerOptions) -> Result<Module, Core
             write_port: None,
         });
     }
-    m.add_wire(
-        "cw",
-        cw,
-        Expr::read_mem("ucode", Expr::reference("upc")),
-    );
+    m.add_wire("cw", cw, Expr::read_mem("ucode", Expr::reference("upc")));
 
     // Next-µPC logic.
     let mode0 = Expr::reference("cw").index(layout.mode_offset);
@@ -213,10 +204,7 @@ pub fn generate(p: &MicroProgram, opts: SequencerOptions) -> Result<Module, Core
             if opts.annotate_fields && !opts.flexible {
                 let mut values = value_sets[fi].clone();
                 values.insert(0); // the reset value
-                m.annotate(
-                    reg,
-                    ValueSet::from_values(f.width as u32, values.into_iter()),
-                );
+                m.annotate(reg, ValueSet::from_values(f.width as u32, values));
             }
         } else {
             m.add_output(&f.name, f.width, slice);
@@ -260,13 +248,13 @@ mod tests {
     use std::collections::HashMap;
 
     fn demo_program() -> MicroProgram {
-        let fmt = MicrocodeFormat::new(vec![
-            Field::one_hot("pipe", 4),
-            Field::binary("len", 2),
-        ]);
+        let fmt = MicrocodeFormat::new(vec![Field::one_hot("pipe", 4), Field::binary("len", 2)]);
         let mut p = MicroProgram::new("demo", fmt, 2);
         p.emit(&[("pipe", 0b0001), ("len", 1)], NextCtl::Seq);
-        p.emit(&[("pipe", 0b0010), ("len", 2)], NextCtl::CondJump { cond: 1, target: 0 });
+        p.emit(
+            &[("pipe", 0b0010), ("len", 2)],
+            NextCtl::CondJump { cond: 1, target: 0 },
+        );
         p.emit(&[("pipe", 0b1000)], NextCtl::Jump(2));
         p
     }

@@ -274,15 +274,15 @@ impl Bdd {
 
     /// Builds a BDD from a truth table (variable `i` = table input `i`).
     pub fn from_truth_table(&mut self, tt: &crate::TruthTable) -> BddRef {
-        self.from_tt_rec(tt, 0, 0)
+        self.build_tt_rec(tt, 0, 0)
     }
 
-    fn from_tt_rec(&mut self, tt: &crate::TruthTable, var: usize, prefix: usize) -> BddRef {
+    fn build_tt_rec(&mut self, tt: &crate::TruthTable, var: usize, prefix: usize) -> BddRef {
         if var == tt.inputs() {
             return self.constant(tt.eval(prefix));
         }
-        let lo = self.from_tt_rec(tt, var + 1, prefix);
-        let hi = self.from_tt_rec(tt, var + 1, prefix | (1 << var));
+        let lo = self.build_tt_rec(tt, var + 1, prefix);
+        let hi = self.build_tt_rec(tt, var + 1, prefix | (1 << var));
         self.mk(var as u32, lo, hi)
     }
 }

@@ -58,7 +58,10 @@ impl Cover {
     pub fn from_truth_table(tt: &TruthTable) -> Self {
         Cover {
             nvars: tt.inputs(),
-            cubes: tt.iter_ones().map(|m| Cube::minterm(tt.inputs(), m as u64)).collect(),
+            cubes: tt
+                .iter_ones()
+                .map(|m| Cube::minterm(tt.inputs(), m as u64))
+                .collect(),
         }
     }
 
@@ -162,58 +165,17 @@ impl Cover {
 
     /// Whether the cover is a tautology (covers every minterm).
     ///
-    /// Uses the standard unate-recursive paradigm: pick the most binate
-    /// variable, recurse on both cofactors.
+    /// Runs the unate recursive paradigm of [`crate::urp`]: unate-variable
+    /// reduction, exact bitmap leaves for supports of up to six variables,
+    /// disjoint-support component decomposition, a minterm-count bound, and
+    /// binate Shannon branching on pooled scratch buffers.
     pub fn is_tautology(&self) -> bool {
-        // Quick exits.
-        if self.cubes.iter().any(|c| c.literal_count() == 0) {
-            return true;
-        }
-        if self.cubes.is_empty() {
-            return false;
-        }
-        // Count of minterms lower bound check: skip (cheap recursion below).
-        match self.most_binate_variable() {
-            None => {
-                // Cover is unate in every variable; a unate cover is a
-                // tautology iff it contains the universal cube (already
-                // checked above).
-                false
-            }
-            Some(var) => {
-                self.cofactor(var, false).is_tautology()
-                    && self.cofactor(var, true).is_tautology()
-            }
-        }
-    }
-
-    /// The variable appearing in the most cubes with both polarities, or
-    /// `None` if the cover is unate. Falls back to the most frequent literal
-    /// variable when no variable is binate but some cubes exist.
-    fn most_binate_variable(&self) -> Option<usize> {
-        let mut pos = vec![0usize; self.nvars];
-        let mut neg = vec![0usize; self.nvars];
-        for c in &self.cubes {
-            let care = c.care_mask();
-            let value = c.value_mask();
-            for v in 0..self.nvars {
-                if care >> v & 1 != 0 {
-                    if value >> v & 1 != 0 {
-                        pos[v] += 1;
-                    } else {
-                        neg[v] += 1;
-                    }
-                }
-            }
-        }
-        (0..self.nvars)
-            .filter(|&v| pos[v] > 0 && neg[v] > 0)
-            .max_by_key(|&v| pos[v].min(neg[v]) * 1024 + pos[v] + neg[v])
+        crate::urp::is_tautology(&self.cubes)
     }
 
     /// Whether a cube is entirely covered by this cover.
     pub fn covers_cube(&self, cube: &Cube) -> bool {
-        self.cofactor_cube(cube).is_tautology()
+        crate::urp::cofactored_tautology(self.cubes.iter().copied(), cube)
     }
 
     /// Whether this cover covers every minterm of `other`.
@@ -221,36 +183,29 @@ impl Cover {
         other.cubes.iter().all(|c| self.covers_cube(c))
     }
 
-    /// The complement of the cover, computed by Shannon recursion.
+    /// The complement of the cover.
+    ///
+    /// Computed by the memoized unate recursive paradigm of [`crate::urp`]:
+    /// single-cube De Morgan leaves, merge-without-tagging on unate split
+    /// variables, identical-cube branch merging, and a cofactor memo keyed
+    /// on the sorted cube signature. The result is single-cube minimal (no
+    /// cube contains another).
     pub fn complement(&self) -> Cover {
-        complement_rec(self)
+        Cover {
+            nvars: self.nvars,
+            cubes: crate::urp::complement(self.nvars, &self.cubes),
+        }
     }
 
     /// Removes cubes contained in other single cubes of the cover
-    /// (single-cube containment).
+    /// (single-cube containment), preserving the relative order of the
+    /// surviving cubes.
+    ///
+    /// The sweep sorts by literal count and applies `care`-mask subset
+    /// bit-tests, so containment candidates are rejected in two word
+    /// operations instead of the historical full pairwise scan.
     pub fn remove_contained_cubes(&mut self) {
-        let mut keep = vec![true; self.cubes.len()];
-        for i in 0..self.cubes.len() {
-            if !keep[i] {
-                continue;
-            }
-            for j in 0..self.cubes.len() {
-                if i != j
-                    && keep[j]
-                    && self.cubes[j].contains_cube(&self.cubes[i])
-                    && (self.cubes[i] != self.cubes[j] || i > j)
-                {
-                    keep[i] = false;
-                    break;
-                }
-            }
-        }
-        let mut idx = 0;
-        self.cubes.retain(|_| {
-            let k = keep[idx];
-            idx += 1;
-            k
-        });
+        crate::urp::single_cube_containment(&mut self.cubes);
     }
 
     /// The disjunction of two covers over the same space.
@@ -267,66 +222,6 @@ impl Cover {
             cubes,
         }
     }
-}
-
-fn complement_rec(f: &Cover) -> Cover {
-    let nvars = f.nvars();
-    // Terminal cases.
-    if f.cubes().iter().any(|c| c.literal_count() == 0) {
-        return Cover::empty(nvars);
-    }
-    if f.is_empty() {
-        return Cover::tautology_cover(nvars);
-    }
-    if f.cube_count() == 1 {
-        // De Morgan on a single cube.
-        let c = &f.cubes()[0];
-        let mut out = Cover::empty(nvars);
-        for v in 0..nvars {
-            match c.literal(v) {
-                crate::cube::Literal::DontCare => {}
-                crate::cube::Literal::Positive => {
-                    out.push(Cube::new(nvars, 0, 1u64 << v));
-                }
-                crate::cube::Literal::Negative => {
-                    out.push(Cube::new(nvars, 1u64 << v, 1u64 << v));
-                }
-            }
-        }
-        return out;
-    }
-    // Split on the most used variable.
-    let var = {
-        let mut counts = vec![0usize; nvars];
-        for c in f.cubes() {
-            for v in 0..nvars {
-                if c.care_mask() >> v & 1 != 0 {
-                    counts[v] += 1;
-                }
-            }
-        }
-        counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .map(|(v, _)| v)
-            .expect("nonempty")
-    };
-    let c0 = complement_rec(&f.cofactor(var, false));
-    let c1 = complement_rec(&f.cofactor(var, true));
-    let mut out = Cover::empty(nvars);
-    for c in c0.cubes() {
-        if let Some(k) = c.intersect(&Cube::new(nvars, 0, 1u64 << var)) {
-            out.push(k);
-        }
-    }
-    for c in c1.cubes() {
-        if let Some(k) = c.intersect(&Cube::new(nvars, 1u64 << var, 1u64 << var)) {
-            out.push(k);
-        }
-    }
-    out.remove_contained_cubes();
-    out
 }
 
 impl std::fmt::Debug for Cover {
@@ -362,10 +257,7 @@ mod tests {
     use super::*;
 
     fn xor2() -> Cover {
-        Cover::from_cubes(
-            2,
-            [Cube::new(2, 0b01, 0b11), Cube::new(2, 0b10, 0b11)],
-        )
+        Cover::from_cubes(2, [Cube::new(2, 0b01, 0b11), Cube::new(2, 0b10, 0b11)])
     }
 
     #[test]
@@ -383,10 +275,7 @@ mod tests {
         assert!(!Cover::empty(3).is_tautology());
         assert!(!xor2().is_tautology());
         // a + !a is a tautology.
-        let f = Cover::from_cubes(
-            1,
-            [Cube::new(1, 1, 1), Cube::new(1, 0, 1)],
-        );
+        let f = Cover::from_cubes(1, [Cube::new(1, 1, 1), Cube::new(1, 0, 1)]);
         assert!(f.is_tautology());
         // Harder: a + !a&b + !a&!b over 2 vars.
         let f = Cover::from_cubes(
@@ -442,9 +331,9 @@ mod tests {
         let mut f = Cover::from_cubes(
             2,
             [
-                Cube::new(2, 0b01, 0b01),  // a
-                Cube::new(2, 0b01, 0b11),  // a & !b (contained in a)
-                Cube::new(2, 0b01, 0b01),  // duplicate of a
+                Cube::new(2, 0b01, 0b01), // a
+                Cube::new(2, 0b01, 0b11), // a & !b (contained in a)
+                Cube::new(2, 0b01, 0b01), // duplicate of a
             ],
         );
         f.remove_contained_cubes();

@@ -12,6 +12,15 @@
 //! the paper attributes the scatter of Fig. 5 to the "bumpy optimization
 //! surface" of the synthesis tool, and starting the loop from different (but
 //! logically equivalent) initial covers reproduces exactly that behaviour.
+//!
+//! All cube algebra underneath the loop (OFF-set complementation,
+//! IRREDUNDANT's coverage checks, REDUCE's residue complements) runs on the
+//! unate-recursive kernel of `crate::urp`, which keeps its cofactor buffers
+//! in a scratch pool so the sweeps stop allocating per recursion step.
+//! Independent outputs are minimized concurrently by [`minimize_batch`] /
+//! [`minimize_tt_batch`] (deterministic: identical to the serial order).
+//! The pre-optimization implementation is preserved in [`crate::naive`] and
+//! benchmarked against this one by `bench_espresso`.
 
 use crate::{Cover, Cube, TruthTable};
 
@@ -97,6 +106,32 @@ pub fn minimize_tt(tt: &TruthTable, dc: Option<&TruthTable>) -> Cover {
     minimize(&on, dc_cover.as_ref(), &EspressoOptions::default())
 }
 
+/// Minimizes many independent ON-covers against a shared optional DC cover,
+/// in parallel when the `parallel` feature is enabled.
+///
+/// Results are returned in input order and are bit-identical to calling
+/// [`minimize`] serially on each cover: each job is independent and
+/// deterministic, so threading only changes wall-clock time. This is the
+/// driver the synthesis flow uses to minimize the outputs of a PLA (or the
+/// cones of a netlist) concurrently.
+pub fn minimize_batch(ons: &[Cover], dc: Option<&Cover>, opts: &EspressoOptions) -> Vec<Cover> {
+    crate::par::par_map(ons, |on| minimize(on, dc, opts))
+}
+
+/// Per-output minimization of a multi-output function given as one truth
+/// table per output bit, sharing one optional don't-care table; parallel
+/// under the `parallel` feature, deterministic regardless.
+pub fn minimize_tt_batch(
+    tts: &[TruthTable],
+    dc: Option<&TruthTable>,
+    opts: &EspressoOptions,
+) -> Vec<Cover> {
+    let dc_cover = dc.map(Cover::from_truth_table);
+    crate::par::par_map(tts, |tt| {
+        minimize(&Cover::from_truth_table(tt), dc_cover.as_ref(), opts)
+    })
+}
+
 /// Cost metric: cubes weighted heavily, then literals.
 fn cost(f: &Cover) -> usize {
     f.cube_count() * 256 + f.literal_count()
@@ -104,6 +139,14 @@ fn cost(f: &Cover) -> usize {
 
 /// EXPAND: enlarge each cube (drop literals) as long as it stays disjoint
 /// from the OFF-set; afterwards remove cubes contained in the expanded ones.
+///
+/// Raising literal `v` of a cube with raised-set `R` is illegal exactly
+/// when some OFF-cube `k` has conflict mask `conflict(c, k) \ R == {v}`.
+/// For small OFF-sets the query is a plain early-exit scan; for large ones
+/// the OFF-set is first partitioned by its six most frequent literal
+/// variables, and any bucket whose pattern already conflicts the cube on
+/// another unraised variable is skipped wholesale — the query touches only
+/// the few OFF-cubes that could actually block the raise.
 fn expand(f: &mut Cover, off: &Cover) {
     let nvars = f.nvars();
     let mut cubes: Vec<Cube> = f.cubes().to_vec();
@@ -111,22 +154,98 @@ fn expand(f: &mut Cover, off: &Cover) {
     let mut order: Vec<usize> = (0..cubes.len()).collect();
     order.sort_by_key(|&i| cubes[i].literal_count());
 
+    let index = OffIndex::build(off);
     for &i in &order {
-        let mut c = cubes[i];
-        // Try raising each literal in variable order.
-        for v in 0..nvars {
-            if c.literal(v) == crate::cube::Literal::DontCare {
-                continue;
-            }
-            let raised = c.with_literal(v, crate::cube::Literal::DontCare);
-            if !intersects_cover(&raised, off) {
-                c = raised;
+        let c = cubes[i];
+        let mut raised = 0u64; // R: literals raised so far
+        let mut lits = c.care_mask();
+        while lits != 0 {
+            let v = lits.trailing_zeros() as usize;
+            lits &= lits - 1;
+            if !index.blocks(&c, raised, v) {
+                raised |= 1u64 << v;
             }
         }
-        cubes[i] = c;
+        if raised != 0 {
+            cubes[i] = Cube::new(nvars, c.value_mask() & !raised, c.care_mask() & !raised);
+        }
     }
     *f = Cover::from_cubes(nvars, cubes);
     f.remove_contained_cubes();
+}
+
+/// Bucket index over an OFF-set: cubes grouped by their literal pattern on
+/// the `S` most frequent variables, so raise-legality queries can reject
+/// whole groups with one mask test.
+struct OffIndex<'a> {
+    off: &'a Cover,
+    /// `(bucket value, bucket care, member indices)`; empty when the
+    /// OFF-set is small enough for plain scans.
+    buckets: Vec<(u64, u64, Vec<u32>)>,
+}
+
+/// Below this OFF-set size a linear early-exit scan beats the index.
+const OFF_INDEX_MIN: usize = 64;
+
+impl<'a> OffIndex<'a> {
+    fn build(off: &'a Cover) -> Self {
+        let mut buckets = Vec::new();
+        if off.cube_count() >= OFF_INDEX_MIN {
+            // The six most frequent literal variables discriminate best.
+            let mut freq = [0u32; 64];
+            for k in off.cubes() {
+                let mut m = k.care_mask();
+                while m != 0 {
+                    freq[m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+            }
+            let mut vars: Vec<usize> = (0..64).filter(|&v| freq[v] > 0).collect();
+            vars.sort_by_key(|&v| std::cmp::Reverse(freq[v]));
+            vars.truncate(6);
+            let s_mask: u64 = vars.iter().map(|&v| 1u64 << v).sum();
+            let mut by_key: std::collections::HashMap<(u64, u64), usize> =
+                std::collections::HashMap::new();
+            for (ki, k) in off.cubes().iter().enumerate() {
+                let key = (k.value_mask() & s_mask, k.care_mask() & s_mask);
+                let slot = *by_key.entry(key).or_insert_with(|| {
+                    buckets.push((key.0, key.1, Vec::new()));
+                    buckets.len() - 1
+                });
+                buckets[slot].2.push(ki as u32);
+            }
+        }
+        OffIndex { off, buckets }
+    }
+
+    /// Whether raising literal `v` of `c` (with raised-set `raised`) would
+    /// make it intersect the OFF-set.
+    fn blocks(&self, c: &Cube, raised: u64, v: usize) -> bool {
+        let bit = 1u64 << v;
+        let live = !raised & !bit;
+        if self.buckets.is_empty() {
+            return self.off.cubes().iter().any(|k| {
+                let conf = (c.value_mask() ^ k.value_mask()) & c.care_mask() & k.care_mask();
+                conf & !raised == bit
+            });
+        }
+        for (bval, bcare, members) in &self.buckets {
+            // Every member conflicts `c` at least on the bucket pattern's
+            // conflicts; one on an unraised variable other than `v` means
+            // no member's remaining conflict can be exactly {v}.
+            if (c.value_mask() ^ bval) & c.care_mask() & bcare & live != 0 {
+                continue;
+            }
+            for &ki in members {
+                let k = &self.off.cubes()[ki as usize];
+                let conf = (c.value_mask() ^ k.value_mask()) & c.care_mask() & k.care_mask();
+                if conf & !raised == bit {
+                    return true;
+                }
+            }
+        }
+        false
+    }
 }
 
 /// Whether a cube intersects any cube of a cover.
@@ -135,6 +254,10 @@ fn intersects_cover(c: &Cube, cover: &Cover) -> bool {
 }
 
 /// IRREDUNDANT: drop cubes covered by the rest of the cover plus don't-cares.
+///
+/// The coverage check cofactors the remaining cubes against the candidate
+/// directly into a pooled scratch buffer (`urp::cofactored_tautology`), so
+/// the sweep allocates no intermediate covers.
 fn irredundant(f: &mut Cover, dc: &Cover) {
     let nvars = f.nvars();
     let mut cubes: Vec<Cube> = f.cubes().to_vec();
@@ -144,16 +267,13 @@ fn irredundant(f: &mut Cover, dc: &Cover) {
     let mut alive = vec![true; cubes.len()];
     for &i in &order {
         alive[i] = false;
-        let rest = Cover::from_cubes(
-            nvars,
-            cubes
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| alive[j])
-                .map(|(_, c)| *c)
-                .chain(dc.cubes().iter().copied()),
-        );
-        if !rest.covers_cube(&cubes[i]) {
+        let rest = cubes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| alive[j])
+            .map(|(_, c)| *c)
+            .chain(dc.cubes().iter().copied());
+        if !crate::urp::cofactored_tautology(rest, &cubes[i]) {
             alive[i] = true;
         }
     }
@@ -172,20 +292,24 @@ fn irredundant(f: &mut Cover, dc: &Cover) {
 fn reduce(f: &mut Cover, dc: &Cover) {
     let nvars = f.nvars();
     let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    let mut cof: Vec<Cube> = Vec::with_capacity(cubes.len() + dc.cube_count());
     for i in 0..cubes.len() {
-        let rest = Cover::from_cubes(
-            nvars,
+        // Cofactor the rest of the cover (plus don't-cares) against cube i
+        // into a reused buffer, skipping the intermediate Cover build.
+        cof.clear();
+        cof.extend(
             cubes
                 .iter()
                 .enumerate()
                 .filter(|&(j, _)| j != i)
-                .map(|(_, c)| *c)
-                .chain(dc.cubes().iter().copied()),
+                .map(|(_, c)| c)
+                .chain(dc.cubes().iter())
+                .filter_map(|c| c.cofactor_cube(&cubes[i])),
         );
-        // The unique part of cube i: cube_i AND NOT rest, then take the
-        // smallest enclosing cube (supercube).
-        let not_rest = rest.cofactor_cube(&cubes[i]).complement();
-        if let Some(sc) = supercube(&not_rest) {
+        // The unique part of cube i: cube_i AND NOT rest, whose smallest
+        // enclosing cube is computed directly from cofactor tautology
+        // checks (no full complement is ever materialized).
+        if let Some(sc) = crate::urp::supercube_of_complement(nvars, &cof) {
             // Re-apply the cube's own literals.
             if let Some(reduced) = expand_back(&cubes[i], &sc) {
                 cubes[i] = reduced;
@@ -195,9 +319,13 @@ fn reduce(f: &mut Cover, dc: &Cover) {
     *f = Cover::from_cubes(nvars, cubes);
 }
 
-/// Smallest single cube containing all cubes of a cover, or `None` if empty.
-fn supercube(f: &Cover) -> Option<Cube> {
-    let mut it = f.cubes().iter();
+/// Smallest single cube containing all cubes of a buffer, or `None` if
+/// empty. (The production REDUCE path computes the supercube of a
+/// complement directly via `urp::supercube_of_complement`; this reference
+/// version remains for its tests.)
+#[cfg(test)]
+fn supercube(nvars: usize, cubes: &[Cube]) -> Option<Cube> {
+    let mut it = cubes.iter();
     let first = *it.next()?;
     let mut value = first.value_mask();
     let mut care = first.care_mask();
@@ -207,7 +335,7 @@ fn supercube(f: &Cover) -> Option<Cube> {
         care = common;
         value &= common;
     }
-    Some(Cube::new(f.nvars(), value, care))
+    Some(Cube::new(nvars, value, care))
 }
 
 /// Combines a cube with the supercube of its unique part: the reduced cube
@@ -241,11 +369,7 @@ mod tests {
             if is_dc {
                 continue;
             }
-            assert_eq!(
-                result.eval(m as u64),
-                on.eval(m),
-                "mismatch at minterm {m}"
-            );
+            assert_eq!(result.eval(m as u64), on.eval(m), "mismatch at minterm {m}");
         }
     }
 
@@ -315,11 +439,10 @@ mod tests {
     #[test]
     fn random_functions_with_dc() {
         for seed in 0..15u64 {
-            let tt = TruthTable::from_fn(5, |m| {
-                (m as u64).wrapping_mul(7 + seed) % 3 == 0
-            });
+            let tt =
+                TruthTable::from_fn(5, |m| (m as u64).wrapping_mul(7 + seed).is_multiple_of(3));
             let dc = TruthTable::from_fn(5, |m| {
-                (m as u64).wrapping_mul(11 + seed) % 5 == 0 && !tt.eval(m)
+                (m as u64).wrapping_mul(11 + seed).is_multiple_of(5) && !tt.eval(m)
             });
             let min = minimize_tt(&tt, Some(&dc));
             check_equiv(&tt, Some(&dc), &min);
@@ -366,8 +489,25 @@ mod tests {
 
     #[test]
     fn supercube_of_two_minterms() {
-        let f = Cover::from_cubes(3, [Cube::minterm(3, 0b000), Cube::minterm(3, 0b001)]);
-        let sc = supercube(&f).unwrap();
+        let cubes = [Cube::minterm(3, 0b000), Cube::minterm(3, 0b001)];
+        let sc = supercube(3, &cubes).unwrap();
         assert_eq!(sc, Cube::new(3, 0b000, 0b110));
+    }
+
+    #[test]
+    fn batch_matches_serial_minimization() {
+        let opts = EspressoOptions::default();
+        let tts: Vec<TruthTable> = (0..8u64)
+            .map(|seed| {
+                TruthTable::from_fn(6, |m| {
+                    (m as u64 + 3).wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ seed) >> 61 & 1 != 0
+                })
+            })
+            .collect();
+        let batch = minimize_tt_batch(&tts, None, &opts);
+        for (tt, cover) in tts.iter().zip(&batch) {
+            let serial = minimize(&Cover::from_truth_table(tt), None, &opts);
+            assert_eq!(cover.cubes(), serial.cubes(), "parallel must equal serial");
+        }
     }
 }

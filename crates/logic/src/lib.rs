@@ -20,6 +20,21 @@
 //!   the set of `k` values (`1 <= k <= 2^n`) an `n`-bit signal is known to
 //!   take.
 //!
+//! ## Kernel architecture
+//!
+//! The hot path of every experiment is two-level minimization, so the cube
+//! algebra underneath it is implemented as a *unate recursive paradigm*
+//! core (private module `urp`): tautology and complementation run with
+//! unate-variable reduction, exact 6-variable bitmap leaves, disjoint-
+//! support component decomposition, a minterm-count bound, a cofactor memo
+//! keyed on cover signatures, and pooled scratch buffers; single-cube
+//! containment is signature-pruned (sorted by literal count with
+//! `care`-mask subset bit-tests) instead of the historical O(n²) scan. The
+//! seed implementations survive in [`naive`] as the oracle / benchmark
+//! baseline, and [`par`] provides the deterministic thread-parallel map
+//! that [`espresso::minimize_batch`] uses to minimize independent PLA
+//! outputs concurrently (cargo feature `parallel`, enabled by default).
+//!
 //! ## Example
 //!
 //! ```
@@ -43,8 +58,11 @@ pub mod bitvec;
 pub mod cover;
 pub mod cube;
 pub mod espresso;
+pub mod naive;
+pub mod par;
 pub mod pla;
 pub mod truthtable;
+mod urp;
 pub mod valueset;
 
 pub use bdd::{Bdd, BddRef};

@@ -1,0 +1,312 @@
+//! Reference (pre-optimization) kernel algorithms.
+//!
+//! These are the seed implementations of complementation, tautology
+//! checking, single-cube containment, and the espresso loop, kept verbatim
+//! so that:
+//!
+//! * the oracle property tests can check the optimized [`crate::urp`] kernel
+//!   against an independent implementation (in addition to the brute-force
+//!   truth-table oracle), and
+//! * the `bench_espresso` benchmark can measure the speedup of the
+//!   optimized kernel against the exact code it replaced, tracked across
+//!   PRs in `BENCH_espresso.json`.
+//!
+//! Nothing in the production flow calls into this module.
+
+use crate::espresso::EspressoOptions;
+use crate::{Cover, Cube};
+
+/// Seed tautology check: binate Shannon recursion with no unate reduction,
+/// leaf evaluation, or pruning.
+pub fn is_tautology_naive(f: &Cover) -> bool {
+    if f.cubes().iter().any(|c| c.literal_count() == 0) {
+        return true;
+    }
+    if f.is_empty() {
+        return false;
+    }
+    match most_binate_variable_naive(f) {
+        None => false,
+        Some(var) => {
+            is_tautology_naive(&f.cofactor(var, false))
+                && is_tautology_naive(&f.cofactor(var, true))
+        }
+    }
+}
+
+fn most_binate_variable_naive(f: &Cover) -> Option<usize> {
+    let nvars = f.nvars();
+    let mut pos = vec![0usize; nvars];
+    let mut neg = vec![0usize; nvars];
+    for c in f.cubes() {
+        let care = c.care_mask();
+        let value = c.value_mask();
+        for v in 0..nvars {
+            if care >> v & 1 != 0 {
+                if value >> v & 1 != 0 {
+                    pos[v] += 1;
+                } else {
+                    neg[v] += 1;
+                }
+            }
+        }
+    }
+    (0..nvars)
+        .filter(|&v| pos[v] > 0 && neg[v] > 0)
+        .max_by_key(|&v| pos[v].min(neg[v]) * 1024 + pos[v] + neg[v])
+}
+
+/// Seed single-cube containment: the O(n²) pairwise scan.
+pub fn remove_contained_cubes_naive(f: &mut Cover) {
+    let cubes: Vec<Cube> = f.cubes().to_vec();
+    let mut keep = vec![true; cubes.len()];
+    for i in 0..cubes.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..cubes.len() {
+            if i != j
+                && keep[j]
+                && cubes[j].contains_cube(&cubes[i])
+                && (cubes[i] != cubes[j] || i > j)
+            {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    *f = Cover::from_cubes(
+        f.nvars(),
+        cubes
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, _)| keep[i])
+            .map(|(_, c)| c),
+    );
+}
+
+/// Seed complement: plain Shannon recursion splitting on the most-used
+/// variable, with the O(n²) containment cleanup at every merge.
+pub fn complement_naive(f: &Cover) -> Cover {
+    let nvars = f.nvars();
+    if f.cubes().iter().any(|c| c.literal_count() == 0) {
+        return Cover::empty(nvars);
+    }
+    if f.is_empty() {
+        return Cover::tautology_cover(nvars);
+    }
+    if f.cube_count() == 1 {
+        let c = &f.cubes()[0];
+        let mut out = Cover::empty(nvars);
+        for v in 0..nvars {
+            match c.literal(v) {
+                crate::cube::Literal::DontCare => {}
+                crate::cube::Literal::Positive => out.push(Cube::new(nvars, 0, 1u64 << v)),
+                crate::cube::Literal::Negative => out.push(Cube::new(nvars, 1u64 << v, 1u64 << v)),
+            }
+        }
+        return out;
+    }
+    let var = {
+        let mut counts = vec![0usize; nvars];
+        for c in f.cubes() {
+            for (v, count) in counts.iter_mut().enumerate() {
+                if c.care_mask() >> v & 1 != 0 {
+                    *count += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(v, _)| v)
+            .expect("nonempty")
+    };
+    let c0 = complement_naive(&f.cofactor(var, false));
+    let c1 = complement_naive(&f.cofactor(var, true));
+    let mut out = Cover::empty(nvars);
+    for c in c0.cubes() {
+        if let Some(k) = c.intersect(&Cube::new(nvars, 0, 1u64 << var)) {
+            out.push(k);
+        }
+    }
+    for c in c1.cubes() {
+        if let Some(k) = c.intersect(&Cube::new(nvars, 1u64 << var, 1u64 << var)) {
+            out.push(k);
+        }
+    }
+    remove_contained_cubes_naive(&mut out);
+    out
+}
+
+fn covers_cube_naive(f: &Cover, cube: &Cube) -> bool {
+    is_tautology_naive(&f.cofactor_cube(cube))
+}
+
+fn cost(f: &Cover) -> usize {
+    f.cube_count() * 256 + f.literal_count()
+}
+
+fn intersects_cover(c: &Cube, cover: &Cover) -> bool {
+    cover.cubes().iter().any(|k| c.distance(k) == 0)
+}
+
+fn expand_naive(f: &mut Cover, off: &Cover) {
+    let nvars = f.nvars();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| cubes[i].literal_count());
+    for &i in &order {
+        let mut c = cubes[i];
+        for v in 0..nvars {
+            if c.literal(v) == crate::cube::Literal::DontCare {
+                continue;
+            }
+            let raised = c.with_literal(v, crate::cube::Literal::DontCare);
+            if !intersects_cover(&raised, off) {
+                c = raised;
+            }
+        }
+        cubes[i] = c;
+    }
+    *f = Cover::from_cubes(nvars, cubes);
+    remove_contained_cubes_naive(f);
+}
+
+fn irredundant_naive(f: &mut Cover, dc: &Cover) {
+    let nvars = f.nvars();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cubes[i].literal_count()));
+    let mut alive = vec![true; cubes.len()];
+    for &i in &order {
+        alive[i] = false;
+        let rest = Cover::from_cubes(
+            nvars,
+            cubes
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| alive[j])
+                .map(|(_, c)| *c)
+                .chain(dc.cubes().iter().copied()),
+        );
+        if !covers_cube_naive(&rest, &cubes[i]) {
+            alive[i] = true;
+        }
+    }
+    let kept: Vec<Cube> = cubes
+        .drain(..)
+        .enumerate()
+        .filter(|&(j, _)| alive[j])
+        .map(|(_, c)| c)
+        .collect();
+    *f = Cover::from_cubes(nvars, kept);
+}
+
+fn supercube(f: &Cover) -> Option<Cube> {
+    let mut it = f.cubes().iter();
+    let first = *it.next()?;
+    let mut value = first.value_mask();
+    let mut care = first.care_mask();
+    for c in it {
+        let common = care & c.care_mask() & !(value ^ c.value_mask());
+        care = common;
+        value &= common;
+    }
+    Some(Cube::new(f.nvars(), value, care))
+}
+
+fn reduce_naive(f: &mut Cover, dc: &Cover) {
+    let nvars = f.nvars();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    for i in 0..cubes.len() {
+        let rest = Cover::from_cubes(
+            nvars,
+            cubes
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| *c)
+                .chain(dc.cubes().iter().copied()),
+        );
+        let not_rest = complement_naive(&rest.cofactor_cube(&cubes[i]));
+        if let Some(sc) = supercube(&not_rest) {
+            if let Some(reduced) = cubes[i].intersect(&sc) {
+                cubes[i] = reduced;
+            }
+        }
+    }
+    *f = Cover::from_cubes(nvars, cubes);
+}
+
+/// Seed espresso loop built entirely on the naive primitives above — the
+/// pre-optimization `minimize`, used as the benchmark baseline.
+pub fn minimize_naive(on: &Cover, dc: Option<&Cover>, opts: &EspressoOptions) -> Cover {
+    let nvars = on.nvars();
+    if on.is_empty() {
+        return Cover::empty(nvars);
+    }
+    let empty_dc = Cover::empty(nvars);
+    let dc = dc.unwrap_or(&empty_dc);
+    let care_union = on.union(dc);
+    if is_tautology_naive(&care_union) {
+        return Cover::tautology_cover(nvars);
+    }
+    let off = complement_naive(&care_union);
+
+    let mut f = on.clone();
+    remove_contained_cubes_naive(&mut f);
+    let mut best = f.clone();
+    let mut best_cost = cost(&best);
+
+    for iter in 0..opts.max_iterations {
+        expand_naive(&mut f, &off);
+        irredundant_naive(&mut f, dc);
+        let c = cost(&f);
+        if c < best_cost {
+            best = f.clone();
+            best_cost = c;
+        } else if iter > 0 {
+            break;
+        }
+        if opts.reduce {
+            reduce_naive(&mut f, dc);
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    #[test]
+    fn naive_minimize_still_covers_exactly() {
+        for seed in 0..10u64 {
+            let tt = TruthTable::from_fn(5, |m| {
+                (m as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ seed) >> 62 & 1 != 0
+            });
+            let min = minimize_naive(&Cover::from_truth_table(&tt), None, &Default::default());
+            assert_eq!(min.to_truth_table(5), tt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn naive_and_optimized_complements_agree_semantically() {
+        for seed in 0..40u64 {
+            let tt = TruthTable::from_fn(6, |m| {
+                (m as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F ^ seed) >> 61 & 1 != 0
+            });
+            let f = Cover::from_truth_table(&tt);
+            let fast = f.complement();
+            let slow = complement_naive(&f);
+            for m in 0..64u64 {
+                assert_eq!(fast.eval(m), slow.eval(m), "seed {seed} minterm {m}");
+            }
+        }
+    }
+}

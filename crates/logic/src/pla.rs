@@ -70,7 +70,9 @@ pub fn from_pla(text: &str) -> Result<Vec<Cover>, LogicError> {
             no = Some(n);
             continue;
         }
-        if line.starts_with(".p") || line.starts_with(".e") || line.starts_with(".ilb")
+        if line.starts_with(".p")
+            || line.starts_with(".e")
+            || line.starts_with(".ilb")
             || line.starts_with(".ob")
         {
             continue;

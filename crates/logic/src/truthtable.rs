@@ -44,10 +44,7 @@ impl TruthTable {
     /// # Errors
     ///
     /// Returns [`LogicError::TooManyVariables`] if `inputs > MAX_TT_INPUTS`.
-    pub fn try_from_fn(
-        inputs: usize,
-        f: impl FnMut(usize) -> bool,
-    ) -> Result<Self, LogicError> {
+    pub fn try_from_fn(inputs: usize, f: impl FnMut(usize) -> bool) -> Result<Self, LogicError> {
         if inputs > MAX_TT_INPUTS {
             return Err(LogicError::TooManyVariables {
                 requested: inputs,
@@ -130,7 +127,11 @@ impl TruthTable {
     pub fn cofactor(&self, var: usize, value: bool) -> TruthTable {
         assert!(var < self.inputs, "variable out of range");
         TruthTable::from_fn(self.inputs, |m| {
-            let m = if value { m | (1 << var) } else { m & !(1 << var) };
+            let m = if value {
+                m | (1 << var)
+            } else {
+                m & !(1 << var)
+            };
             self.eval(m)
         })
     }

@@ -129,9 +129,7 @@ impl ValueSet {
     /// The constant value if `k = 1`.
     pub fn as_constant(&self) -> Option<u128> {
         match self {
-            ValueSet::Values { values, .. } if values.len() == 1 => {
-                values.iter().next().copied()
-            }
+            ValueSet::Values { values, .. } if values.len() == 1 => values.iter().next().copied(),
             _ => None,
         }
     }
@@ -151,9 +149,7 @@ impl ValueSet {
     /// than 20 bits; for narrow `All` sets the full range is enumerated).
     pub fn iter_values(&self) -> Option<Box<dyn Iterator<Item = u128> + '_>> {
         match self {
-            ValueSet::All { width } if *width <= 20 => {
-                Some(Box::new(0..(1u128 << *width)))
-            }
+            ValueSet::All { width } if *width <= 20 => Some(Box::new(0..(1u128 << *width))),
             ValueSet::All { .. } => None,
             ValueSet::Values { values, .. } => Some(Box::new(values.iter().copied())),
         }
@@ -181,16 +177,13 @@ impl ValueSet {
     pub fn union(&self, other: &ValueSet) -> ValueSet {
         assert_eq!(self.width(), other.width(), "value set width mismatch");
         match (self, other) {
-            (ValueSet::All { width }, _) | (_, ValueSet::All { width }) => {
-                ValueSet::all(*width)
+            (ValueSet::All { width }, _) | (_, ValueSet::All { width }) => ValueSet::all(*width),
+            (ValueSet::Values { width, values: a }, ValueSet::Values { values: b, .. }) => {
+                ValueSet::Values {
+                    width: *width,
+                    values: a.union(b).copied().collect(),
+                }
             }
-            (
-                ValueSet::Values { width, values: a },
-                ValueSet::Values { values: b, .. },
-            ) => ValueSet::Values {
-                width: *width,
-                values: a.union(b).copied().collect(),
-            },
         }
     }
 

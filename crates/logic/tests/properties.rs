@@ -144,7 +144,7 @@ proptest! {
     #[test]
     fn valueset_map_is_image(width in 1u32..10, k in 1usize..12, seed in any::<u64>()) {
         let values: Vec<u128> = (0..k)
-            .map(|i| ((seed.rotate_left(i as u32 * 7) as u128) & ((1 << width) - 1)))
+            .map(|i| (seed.rotate_left(i as u32 * 7) as u128) & ((1 << width) - 1))
             .collect();
         let s = ValueSet::from_values(width, values.clone());
         let mapped = s.map(width, |v| (v ^ 0b1) & ((1 << width) - 1));

@@ -246,8 +246,8 @@ impl GateKind {
     pub fn all_combinational() -> Vec<GateKind> {
         use GateKind::*;
         vec![
-            Const0, Const1, Buf, Inv, And2, Or2, Nand2, Nor2, Xor2, Xnor2, And3, Or3,
-            Nand3, Nor3, And4, Or4, Nand4, Nor4, Mux2, Aoi21, Oai21, Aoi22, Oai22,
+            Const0, Const1, Buf, Inv, And2, Or2, Nand2, Nor2, Xor2, Xnor2, And3, Or3, Nand3, Nor3,
+            And4, Or4, Nand4, Nor4, Mux2, Aoi21, Oai21, Aoi22, Oai22,
         ]
     }
 }
@@ -262,10 +262,7 @@ mod tests {
             let n = kind.arity();
             for m in 0..1usize << n {
                 let ins: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
-                let words: Vec<u64> = ins
-                    .iter()
-                    .map(|&b| if b { u64::MAX } else { 0 })
-                    .collect();
+                let words: Vec<u64> = ins.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
                 let scalar = kind.eval(&ins);
                 let word = kind.eval_words(&words);
                 assert_eq!(

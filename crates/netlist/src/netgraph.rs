@@ -315,10 +315,7 @@ impl Netlist {
             self.driver[g.output.index()] = None;
             for (i, cn) in self.const_nets.iter_mut().enumerate() {
                 if *cn == Some(g.output) {
-                    debug_assert!(matches!(
-                        g.kind,
-                        GateKind::Const0 | GateKind::Const1
-                    ));
+                    debug_assert!(matches!(g.kind, GateKind::Const0 | GateKind::Const1));
                     let _ = i;
                     *cn = None;
                 }
@@ -397,8 +394,8 @@ impl Netlist {
             }
         }
         let mut removed = 0;
-        for i in 0..self.gates.len() {
-            if self.gates[i].is_some() && !live[i] {
+        for (i, alive) in live.iter().enumerate() {
+            if self.gates[i].is_some() && !alive {
                 self.remove_gate(GateId(i as u32));
                 removed += 1;
             }

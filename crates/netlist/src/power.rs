@@ -81,7 +81,11 @@ pub fn estimate_power_with_activity(
     for (_, g) in nl.gates() {
         let (dyn_c, leak) = cell_coefficients(lib, g.kind);
         let act = toggles.get(&g.output).copied().unwrap_or(0) as f64 / cycles;
-        let act = if g.kind.is_sequential() { act + 0.5 } else { act };
+        let act = if g.kind.is_sequential() {
+            act + 0.5
+        } else {
+            act
+        };
         dynamic += dyn_c * act;
         leakage += leak;
     }
@@ -129,8 +133,7 @@ mod tests {
         bigger.add_output("y", &[y]);
         let lib = Library::vt90();
         assert!(
-            estimate_power(&bigger, &lib, 0.15).total()
-                > estimate_power(&nl, &lib, 0.15).total()
+            estimate_power(&bigger, &lib, 0.15).total() > estimate_power(&nl, &lib, 0.15).total()
         );
     }
 
@@ -145,12 +148,8 @@ mod tests {
         let p = estimate_power_with_activity(&nl, &lib, &toggles, 100);
         assert!(p.dynamic > 0.0);
         // Silent design still leaks and clocks.
-        let silent = estimate_power_with_activity(
-            &nl,
-            &lib,
-            &std::collections::HashMap::new(),
-            100,
-        );
+        let silent =
+            estimate_power_with_activity(&nl, &lib, &std::collections::HashMap::new(), 100);
         assert!(silent.leakage > 0.0);
         assert!(silent.dynamic > 0.0, "flop clock power");
         assert!(p.total() > silent.total());

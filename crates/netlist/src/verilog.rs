@@ -91,11 +91,7 @@ pub fn to_verilog(nl: &Netlist) -> String {
                 let _ = writeln!(s, "  xnor g{idx} ({out}, {});", ins.join(", "));
             }
             GateKind::Mux2 => {
-                let _ = writeln!(
-                    s,
-                    "  assign {out} = {} ? {} : {};",
-                    ins[0], ins[2], ins[1]
-                );
+                let _ = writeln!(s, "  assign {out} = {} ? {} : {};", ins[0], ins[2], ins[1]);
             }
             GateKind::Aoi21 => {
                 let _ = writeln!(
@@ -189,7 +185,13 @@ fn net_ref(nl: &Netlist, n: NetId) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -92,9 +92,27 @@ fn leftover_image() -> Vec<MicroInstr> {
     vec![
         mk(0b0001, READ, 3, 0, NextCtl::Jump(2)),
         mk(0b0010, WRITE, 7, 1, NextCtl::Jump(0)),
-        mk(0b0100, SYNC, 1, 0, NextCtl::CondJump { cond: cond::DIRTY, target: 2 }),
+        mk(
+            0b0100,
+            SYNC,
+            1,
+            0,
+            NextCtl::CondJump {
+                cond: cond::DIRTY,
+                target: 2,
+            },
+        ),
         mk(0b1000, READ, 5, 1, NextCtl::Jump(1)),
-        mk(0b0001, WRITE, 2, 0, NextCtl::CondJump { cond: cond::REMOTE, target: 0 }),
+        mk(
+            0b0001,
+            WRITE,
+            2,
+            0,
+            NextCtl::CondJump {
+                cond: cond::REMOTE,
+                target: 0,
+            },
+        ),
         mk(0b0010, SYNC, 6, 1, NextCtl::Jump(3)),
         mk(0b0100, READ, 4, 0, NextCtl::Jump(2)),
         mk(0b1000, WRITE, 1, 0, NextCtl::Halt),
@@ -105,12 +123,24 @@ fn build_cached(p: &mut MicroProgram, count: u128) {
     use cmd::*;
     use cond::*;
     // 0-1: idle loop waiting for a request.
-    p.emit(&[], NextCtl::CondJump { cond: REQ, target: 2 });
+    p.emit(
+        &[],
+        NextCtl::CondJump {
+            cond: REQ,
+            target: 2,
+        },
+    );
     p.emit(&[], NextCtl::Jump(0));
     // 2: tag lookup probe on pipe 0.
     p.emit(&[("pipe", 0b0001), ("kind", SYNC)], NextCtl::Seq);
     // 3: dirty victim? go to the writeback phase (14).
-    p.emit(&[], NextCtl::CondJump { cond: DIRTY, target: 14 });
+    p.emit(
+        &[],
+        NextCtl::CondJump {
+            cond: DIRTY,
+            target: 14,
+        },
+    );
     // 4-7: line fill — read commands to each pipe with transfer timing.
     for i in 0..4 {
         p.emit(
@@ -131,21 +161,37 @@ fn build_cached(p: &mut MicroProgram, count: u128) {
     // 14-17: writeback reads (victim line out of the cache).
     for i in 0..4 {
         p.emit(
-            &[("pipe", 1 << i), ("kind", READ), ("count", count), ("wb", 1)],
+            &[
+                ("pipe", 1 << i),
+                ("kind", READ),
+                ("count", count),
+                ("wb", 1),
+            ],
             NextCtl::Seq,
         );
     }
     // 18-21: writeback writes (victim line to memory).
     for i in 0..4 {
         p.emit(
-            &[("pipe", 1 << i), ("kind", WRITE), ("count", count), ("wb", 1)],
+            &[
+                ("pipe", 1 << i),
+                ("kind", WRITE),
+                ("count", count),
+                ("wb", 1),
+            ],
             NextCtl::Seq,
         );
     }
     // 22: sync after writeback.
     p.emit(&[("pipe", 0b0001), ("kind", SYNC)], NextCtl::Seq);
     // 23: remote intervention?
-    p.emit(&[], NextCtl::CondJump { cond: REMOTE, target: 25 });
+    p.emit(
+        &[],
+        NextCtl::CondJump {
+            cond: REMOTE,
+            target: 25,
+        },
+    );
     // 24: resume the fill.
     p.emit(&[], NextCtl::Jump(4));
     // 25: intervention probe on the remote pipe; 26: resume fill.
@@ -157,7 +203,13 @@ fn build_uncached(p: &mut MicroProgram, count: u128) {
     use cmd::*;
     use cond::*;
     // 0-1: idle loop.
-    p.emit(&[], NextCtl::CondJump { cond: REQ, target: 2 });
+    p.emit(
+        &[],
+        NextCtl::CondJump {
+            cond: REQ,
+            target: 2,
+        },
+    );
     p.emit(&[], NextCtl::Jump(0));
     // 2: single read on pipe 0.
     p.emit(

@@ -101,10 +101,8 @@ pub fn pctrl_module(cfg: &MemoryConfig, style: PctrlStyle) -> Result<Module, Cor
     m.add_register(Register {
         name: "addr_stage".into(),
         width: DATA_BITS,
-        next: Expr::reference("busy_w").mux(
-            Expr::reference("req_addr"),
-            Expr::reference("addr_stage"),
-        ),
+        next: Expr::reference("busy_w")
+            .mux(Expr::reference("req_addr"), Expr::reference("addr_stage")),
         reset: RegReset {
             kind: ResetKind::Sync,
             value: 0,
@@ -114,10 +112,9 @@ pub fn pctrl_module(cfg: &MemoryConfig, style: PctrlStyle) -> Result<Module, Cor
     m.add_register(Register {
         name: "wb_addr_r".into(),
         width: DATA_BITS,
-        next: Expr::reference("wb_r").index(0).mux(
-            Expr::reference("wb_addr_r"),
-            Expr::reference("addr_stage"),
-        ),
+        next: Expr::reference("wb_r")
+            .index(0)
+            .mux(Expr::reference("wb_addr_r"), Expr::reference("addr_stage")),
         reset: RegReset {
             kind: ResetKind::Sync,
             value: 0,
@@ -129,25 +126,18 @@ pub fn pctrl_module(cfg: &MemoryConfig, style: PctrlStyle) -> Result<Module, Cor
     m.add_register(Register {
         name: "beat".into(),
         width: 4,
-        next: Expr::reference("busy_w").mux(
-            Expr::constant(4, 0),
-            Expr::reference("beat").inc(),
-        ),
+        next: Expr::reference("busy_w").mux(Expr::constant(4, 0), Expr::reference("beat").inc()),
         reset: RegReset {
             kind: ResetKind::Sync,
             value: 0,
         },
     });
     for w in 0..LINE_WORDS {
-        let hit = Expr::reference("busy_w")
-            .and(Expr::reference("beat").eq_const(4, w as u128));
+        let hit = Expr::reference("busy_w").and(Expr::reference("beat").eq_const(4, w as u128));
         m.add_register(Register {
             name: format!("line{w}"),
             width: DATA_BITS,
-            next: hit.mux(
-                Expr::reference(format!("line{w}")),
-                Expr::reference("din"),
-            ),
+            next: hit.mux(Expr::reference(format!("line{w}")), Expr::reference("din")),
             reset: RegReset {
                 kind: ResetKind::Sync,
                 value: 0,

@@ -225,11 +225,10 @@ impl<'m> Ctx<'m> {
             if mem.contents.is_some() {
                 continue; // bound tables produce logic at their read sites
             }
-            let (addr_sig, data_sig, en_sig) = mem.write_port.as_ref().ok_or_else(|| {
-                RtlError::BadMemory {
+            let (addr_sig, data_sig, en_sig) =
+                mem.write_port.as_ref().ok_or_else(|| RtlError::BadMemory {
                     context: format!("programmable memory `{}` needs a write port", mem.name),
-                }
-            })?;
+                })?;
             let addr = self.lookup(addr_sig)?;
             let data = self.lookup(data_sig)?;
             let en = self.lookup(en_sig)?;
@@ -451,7 +450,10 @@ impl<'m> Ctx<'m> {
                     .clone();
                 let addr = self.elab_expr(addr)?;
                 let abits = log2_exact(mem.depth).ok_or_else(|| RtlError::BadMemory {
-                    context: format!("memory `{}` depth {} is not a power of two", mem.name, mem.depth),
+                    context: format!(
+                        "memory `{}` depth {} is not a power of two",
+                        mem.name, mem.depth
+                    ),
                 })?;
                 if addr.len() != abits {
                     return Err(RtlError::WidthMismatch {
@@ -478,8 +480,7 @@ impl<'m> Ctx<'m> {
                         let storage = self.mem_storage[&mem.name].clone();
                         let mut out = Vec::with_capacity(mem.width);
                         for b in 0..mem.width {
-                            let leaves: Vec<NetId> =
-                                storage.iter().map(|word| word[b]).collect();
+                            let leaves: Vec<NetId> = storage.iter().map(|word| word[b]).collect();
                             out.push(self.mux_tree(&leaves, &addr));
                         }
                         Ok(out)
@@ -531,7 +532,9 @@ impl<'m> Ctx<'m> {
             });
         }
         self.nl.sweep();
-        self.nl.validate().expect("elaboration produces valid netlists");
+        self.nl
+            .validate()
+            .expect("elaboration produces valid netlists");
         Ok(Elaborated {
             netlist: self.nl,
             signals: self.signals,
@@ -544,7 +547,10 @@ impl<'m> Ctx<'m> {
 fn validate_memory(mem: &Memory) -> Result<(), RtlError> {
     if log2_exact(mem.depth).is_none() {
         return Err(RtlError::BadMemory {
-            context: format!("memory `{}` depth {} is not a power of two", mem.name, mem.depth),
+            context: format!(
+                "memory `{}` depth {} is not a power of two",
+                mem.name, mem.depth
+            ),
         });
     }
     if let Some(words) = &mem.contents {
@@ -592,11 +598,7 @@ mod tests {
         m.add_wire("w", 4, Expr::reference("a").and(Expr::reference("b")));
         m.add_output("y", 1, Expr::reference("w").reduce_or());
         m.add_output("p", 1, Expr::reference("a").reduce_xor());
-        m.add_output(
-            "e",
-            1,
-            Expr::reference("a").eq(Expr::reference("b")),
-        );
+        m.add_output("e", 1, Expr::reference("a").eq(Expr::reference("b")));
         let e = elaborate(&m).unwrap();
         assert!(e.netlist.num_gates() > 0);
         assert_eq!(e.netlist.outputs().len(), 3);
@@ -609,10 +611,7 @@ mod tests {
         m.add_input("a", 4);
         m.add_input("b", 2);
         m.add_output("y", 4, Expr::reference("a").and(Expr::reference("b")));
-        assert!(matches!(
-            elaborate(&m),
-            Err(RtlError::WidthMismatch { .. })
-        ));
+        assert!(matches!(elaborate(&m), Err(RtlError::WidthMismatch { .. })));
     }
 
     #[test]
@@ -676,11 +675,7 @@ mod tests {
             contents: Some(vec![0b000, 0b101, 0b011, 0b111]),
             write_port: None,
         });
-        m.add_output(
-            "data",
-            3,
-            Expr::read_mem("t", Expr::reference("addr")),
-        );
+        m.add_output("data", 3, Expr::read_mem("t", Expr::reference("addr")));
         let e = elaborate(&m).unwrap();
         assert_eq!(e.netlist.flop_count(), 0);
         assert!(e.netlist.num_gates() > 0);
@@ -728,10 +723,8 @@ mod tests {
         m.add_register(Register {
             name: "state".into(),
             width: 2,
-            next: Expr::reference("go").mux(
-                Expr::reference("state"),
-                Expr::reference("state").inc(),
-            ),
+            next: Expr::reference("go")
+                .mux(Expr::reference("state"), Expr::reference("state").inc()),
             reset: RegReset {
                 kind: ResetKind::Sync,
                 value: 0,

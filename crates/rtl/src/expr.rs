@@ -114,7 +114,7 @@ impl Expr {
     /// Panics if the value does not fit in `width` bits or `width` is 0 or
     /// exceeds 128.
     pub fn constant(width: usize, value: u128) -> Expr {
-        assert!(width >= 1 && width <= 128, "bad constant width {width}");
+        assert!((1..=128).contains(&width), "bad constant width {width}");
         if width < 128 {
             assert!(
                 value < (1u128 << width),
@@ -130,6 +130,7 @@ impl Expr {
     }
 
     /// Bitwise NOT.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Not(Box::new(self))
     }
@@ -341,10 +342,7 @@ mod tests {
             Expr::Const { width: 4, value: 0 }
         ));
         // Zero shift is the identity.
-        assert!(matches!(
-            Expr::reference("x").shr_const(4, 0),
-            Expr::Ref(_)
-        ));
+        assert!(matches!(Expr::reference("x").shr_const(4, 0), Expr::Ref(_)));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod styles;
 
 pub use elaborate::{elaborate, Elaborated};
 pub use expr::{BinOp, Expr, ReduceOp};
-pub use module::{FsmInfo, Memory, Module, Register, RegReset, SignalAnnotation};
+pub use module::{FsmInfo, Memory, Module, RegReset, Register, SignalAnnotation};
 pub use synthir_netlist::ResetKind;
 
 /// Errors produced while building or elaborating RTL.

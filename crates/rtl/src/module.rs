@@ -197,12 +197,7 @@ impl Module {
                     .find(|(n, _, _)| n == name)
                     .map(|(_, w, _)| *w)
             })
-            .or_else(|| {
-                self.regs
-                    .iter()
-                    .find(|r| r.name == name)
-                    .map(|r| r.width)
-            })
+            .or_else(|| self.regs.iter().find(|r| r.name == name).map(|r| r.width))
     }
 
     /// Checks name uniqueness across inputs, wires, registers and memories.

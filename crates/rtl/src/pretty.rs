@@ -18,10 +18,18 @@ pub fn to_pretty(m: &Module) -> String {
         ports.push("  input  logic         rst".into());
     }
     for (name, w) in m.inputs() {
-        ports.push(format!("  input  logic [{:>2}:0] {}", w.saturating_sub(1), name));
+        ports.push(format!(
+            "  input  logic [{:>2}:0] {}",
+            w.saturating_sub(1),
+            name
+        ));
     }
     for (name, w, _) in m.outputs() {
-        ports.push(format!("  output logic [{:>2}:0] {}", w.saturating_sub(1), name));
+        ports.push(format!(
+            "  output logic [{:>2}:0] {}",
+            w.saturating_sub(1),
+            name
+        ));
     }
     let _ = writeln!(s, "{}\n);", ports.join(",\n"));
 
@@ -38,7 +46,12 @@ pub fn to_pretty(m: &Module) -> String {
         );
     }
     for (name, w, e) in m.wires() {
-        let _ = writeln!(s, "  logic [{:>2}:0] {name} = {};", w.saturating_sub(1), fmt_expr(e));
+        let _ = writeln!(
+            s,
+            "  logic [{:>2}:0] {name} = {};",
+            w.saturating_sub(1),
+            fmt_expr(e)
+        );
     }
     for r in m.registers() {
         let _ = writeln!(
@@ -90,12 +103,9 @@ fn fmt_expr(e: &Expr) -> String {
             };
             format!("{sym}{}", fmt_atom(a))
         }
-        Expr::Mux { sel, on0, on1 } => format!(
-            "{} ? {} : {}",
-            fmt_atom(sel),
-            fmt_atom(on1),
-            fmt_atom(on0)
-        ),
+        Expr::Mux { sel, on0, on1 } => {
+            format!("{} ? {} : {}", fmt_atom(sel), fmt_atom(on1), fmt_atom(on0))
+        }
         Expr::Index { a, bit } => format!("{}[{bit}]", fmt_atom(a)),
         Expr::Slice { a, lo, width } => format!("{}[{lo} +: {width}]", fmt_atom(a)),
         Expr::Concat(parts) => {

@@ -151,10 +151,7 @@ mod tests {
     fn sop_and_table_styles_elaborate() {
         let tt0 = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
         let tt1 = TruthTable::from_fn(3, |m| m % 2 == 0);
-        let covers = vec![
-            Cover::from_truth_table(&tt0),
-            Cover::from_truth_table(&tt1),
-        ];
+        let covers = vec![Cover::from_truth_table(&tt0), Cover::from_truth_table(&tt1)];
         let sop = sop_module("sop", 3, &covers);
         let e1 = elaborate(&sop).unwrap();
         assert_eq!(e1.netlist.flop_count(), 0);

@@ -23,8 +23,8 @@ impl CombSim {
     /// Returns [`SimError::InvalidNetlist`] if the combinational part is
     /// cyclic.
     pub fn new(nl: &Netlist) -> Result<Self, SimError> {
-        let order = topo::topological_order(nl)
-            .map_err(|e| SimError::InvalidNetlist(e.to_string()))?;
+        let order =
+            topo::topological_order(nl).map_err(|e| SimError::InvalidNetlist(e.to_string()))?;
         Ok(CombSim {
             order,
             num_nets: nl.num_nets(),

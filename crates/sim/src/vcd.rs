@@ -56,13 +56,7 @@ impl VcdRecorder {
         for p in nl.inputs().iter().chain(nl.outputs()) {
             let id = (code as char).to_string();
             code = code.wrapping_add(1).clamp(33, 126);
-            let _ = writeln!(
-                header,
-                "$var wire {} {} {} $end",
-                p.nets.len(),
-                id,
-                p.name
-            );
+            let _ = writeln!(header, "$var wire {} {} {} $end", p.nets.len(), id, p.name);
             ids.push((p.name.clone(), p.nets.len(), id));
         }
         let _ = writeln!(header, "$upscope $end");
@@ -78,11 +72,7 @@ impl VcdRecorder {
 
     /// Records one cycle of port values (missing names hold their previous
     /// value; unknown names are ignored).
-    pub fn sample(
-        &mut self,
-        inputs: &HashMap<String, u128>,
-        outputs: &HashMap<String, u128>,
-    ) {
+    pub fn sample(&mut self, inputs: &HashMap<String, u128>, outputs: &HashMap<String, u128>) {
         let mut emitted_time = false;
         for (name, width, id) in &self.ids {
             let v = inputs

@@ -186,6 +186,7 @@ mod tests {
     /// The partial-evaluation headline: the programmable table costs flops
     /// and read logic; the bound table costs neither.
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn bound_table_removes_all_sequential_area() {
         let lib = Library::vt90();
         let opts = SynthOptions::default();

@@ -24,7 +24,7 @@ use crate::factor::emit_cover;
 use crate::options::{FsmEncoding, SynthOptions};
 use crate::SynthError;
 use std::collections::{BTreeSet, HashMap};
-use synthir_logic::espresso::{minimize, EspressoOptions};
+use synthir_logic::espresso::EspressoOptions;
 use synthir_logic::{BitVec, Cover, TruthTable};
 use synthir_netlist::{topo, GateId, GateKind, NetId, Netlist, ResetKind};
 use synthir_rtl::elaborate::FsmNets;
@@ -90,9 +90,7 @@ pub fn fsm_reencode(
     let other_flops: Vec<GateId> = nl
         .gates()
         .filter(|(id, g)| {
-            g.kind.is_sequential()
-                && !state_flops.contains(id)
-                && depends_on_state(nl, g.inputs[0])
+            g.kind.is_sequential() && !state_flops.contains(id) && depends_on_state(nl, g.inputs[0])
         })
         .map(|(id, _)| id)
         .collect();
@@ -118,8 +116,8 @@ pub fn fsm_reencode(
     }
 
     // --- 1. Extract behaviour by exhaustive bit-parallel evaluation. ---
-    let order = topo::topological_order(nl)
-        .map_err(|e| SynthError::InvalidNetlist(e.to_string()))?;
+    let order =
+        topo::topological_order(nl).map_err(|e| SynthError::InvalidNetlist(e.to_string()))?;
     let combos = 1usize << f;
     // Evaluate one state code at a time, all input combos bit-parallel.
     let eval_code = |nl: &Netlist, code: u128| -> HashMap<NetId, BitVec> {
@@ -201,11 +199,7 @@ pub fn fsm_reencode(
     }
     reachable.sort();
     let n_states = reachable.len();
-    let idx_of: HashMap<u128, usize> = reachable
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (c, i))
-        .collect();
+    let idx_of: HashMap<u128, usize> = reachable.iter().enumerate().map(|(i, &c)| (c, i)).collect();
 
     // --- 3. Choose the new encoding. ---
     let new_codes: Vec<u128> = match opts.fsm_encoding {
@@ -230,11 +224,8 @@ pub fn fsm_reencode(
             "re-encoded truth tables too wide".into(),
         ));
     }
-    let code_of_pattern: HashMap<u128, usize> = new_codes
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (c, i))
-        .collect();
+    let code_of_pattern: HashMap<u128, usize> =
+        new_codes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
 
     // --- 4. Rebuild logic over [new_state, others]. ---
     let total_vars = new_width + f;
@@ -251,23 +242,23 @@ pub fn fsm_reencode(
     let mut support: Vec<NetId> = new_q.clone();
     support.extend(others.iter().copied());
 
-    let build_root = |nl: &mut Netlist, value_of: &dyn Fn(usize, usize) -> bool| -> NetId {
+    // Collect the truth table of every root to rebuild (next-state bits,
+    // outputs, non-state flop D inputs), then minimize them as one batch:
+    // the per-root jobs are independent, so the batch driver runs them
+    // concurrently under the `parallel` feature with identical results.
+    let root_tt = |value_of: &dyn Fn(usize, usize) -> bool| -> TruthTable {
         // value_of(state_idx, combo)
-        let tt = TruthTable::from_fn(total_vars, |m| {
+        TruthTable::from_fn(total_vars, |m| {
             let pat = (m & ((1 << new_width) - 1)) as u128;
             match code_of_pattern.get(&pat) {
                 Some(&si) => value_of(si, m >> new_width),
                 None => false,
             }
-        });
-        let cover = minimize(&Cover::from_truth_table(&tt), Some(&dc_cover), &espresso_opts);
-        emit_cover(nl, &cover, &support)
+        })
     };
-
-    // Next-state bits.
-    let mut new_state_d: Vec<NetId> = Vec::with_capacity(new_width);
+    let mut root_tts: Vec<TruthTable> = Vec::new();
     for bit in 0..new_width {
-        let n = build_root(nl, &|si, combo| {
+        root_tts.push(root_tt(&|si, combo| {
             let old_code = reachable[si];
             let beh = &behaviours[&old_code];
             let mut next = 0u128;
@@ -278,21 +269,41 @@ pub fn fsm_reencode(
             }
             let ni = idx_of[&next];
             new_codes[ni] >> bit & 1 != 0
-        });
-        new_state_d.push(n);
+        }));
+    }
+    for &o in &output_roots {
+        root_tts.push(root_tt(&|si, combo| {
+            behaviours[&reachable[si]][&o].get(combo)
+        }));
+    }
+    for (fi, _) in other_flops.iter().enumerate() {
+        let d = other_d[fi];
+        root_tts.push(root_tt(&|si, combo| {
+            behaviours[&reachable[si]][&d].get(combo)
+        }));
+    }
+    let root_ons: Vec<Cover> = root_tts.iter().map(Cover::from_truth_table).collect();
+    let covers =
+        synthir_logic::espresso::minimize_batch(&root_ons, Some(&dc_cover), &espresso_opts);
+    let mut cover_it = covers.iter();
+    let mut next_root = |nl: &mut Netlist| -> NetId {
+        emit_cover(nl, cover_it.next().expect("one cover per root"), &support)
+    };
+
+    // Next-state bits.
+    let mut new_state_d: Vec<NetId> = Vec::with_capacity(new_width);
+    for _ in 0..new_width {
+        new_state_d.push(next_root(nl));
     }
     // Output roots.
     let mut new_outputs: Vec<(NetId, NetId)> = Vec::new();
     for &o in &output_roots {
-        let n = build_root(nl, &|si, combo| behaviours[&reachable[si]][&o].get(combo));
-        new_outputs.push((o, n));
+        new_outputs.push((o, next_root(nl)));
     }
     // Non-state flop D roots.
     let mut new_other_d: Vec<(GateId, NetId)> = Vec::new();
-    for (fi, &fgate) in other_flops.iter().enumerate() {
-        let d = other_d[fi];
-        let n = build_root(nl, &|si, combo| behaviours[&reachable[si]][&d].get(combo));
-        new_other_d.push((fgate, n));
+    for &fgate in other_flops.iter() {
+        new_other_d.push((fgate, next_root(nl)));
     }
 
     // --- 5. Stitch the new logic in. ---
@@ -376,12 +387,8 @@ mod tests {
         let opts = SynthOptions::default();
         assert!(fsm_reencode(&mut nl, &fsm, &opts).unwrap());
         crate::constfold::const_fold(&mut nl);
-        let res = synthir_sim::check_seq_equiv(
-            &golden,
-            &nl,
-            &synthir_sim::EquivOptions::new(),
-        )
-        .unwrap();
+        let res =
+            synthir_sim::check_seq_equiv(&golden, &nl, &synthir_sim::EquivOptions::new()).unwrap();
         assert!(res.is_equivalent(), "{res:?}");
     }
 
@@ -397,12 +404,8 @@ mod tests {
         // One-hot over 3 states allocates 3 state bits, but the third is
         // inferable from the other two and may be swept.
         assert!(nl.flop_count() >= 2 && nl.flop_count() <= 3);
-        let res = synthir_sim::check_seq_equiv(
-            &golden,
-            &nl,
-            &synthir_sim::EquivOptions::new(),
-        )
-        .unwrap();
+        let res =
+            synthir_sim::check_seq_equiv(&golden, &nl, &synthir_sim::EquivOptions::new()).unwrap();
         assert!(res.is_equivalent(), "{res:?}");
     }
 
@@ -416,12 +419,8 @@ mod tests {
                 ..Default::default()
             };
             fsm_reencode(&mut nl, &fsm, &opts).unwrap();
-            let res = synthir_sim::check_seq_equiv(
-                &golden,
-                &nl,
-                &synthir_sim::EquivOptions::new(),
-            )
-            .unwrap();
+            let res = synthir_sim::check_seq_equiv(&golden, &nl, &synthir_sim::EquivOptions::new())
+                .unwrap();
             assert!(res.is_equivalent(), "{enc:?}: {res:?}");
         }
     }

@@ -22,6 +22,15 @@ use synthir_netlist::{topo, GateKind, Library, NetId, Netlist};
 /// Each rebuild is accepted only when the re-covered logic is estimated to
 /// be no larger than the logic it retires (under [`Library::vt90`]), so the
 /// pass never degrades structurally good implementations such as XOR trees.
+///
+/// The pass runs in two phases. Phase 1 collapses and minimizes every
+/// eligible cone against the pre-pass netlist concurrently (the expensive,
+/// pure work). Phase 2 applies the rebuilds serially in root order; until
+/// the first mutation the netlist is untouched, so plans apply without any
+/// re-collapse, and after a mutation each remaining plan is re-validated
+/// against the current netlist — a cone altered by an earlier rebuild is
+/// simply re-minimized on the spot. Either way the result is identical to
+/// a fully serial pass.
 pub fn resynthesize(nl: &mut Netlist, opts: &SynthOptions) -> usize {
     let mut roots: Vec<NetId> = Vec::new();
     for net in nl.output_nets() {
@@ -34,9 +43,12 @@ pub fn resynthesize(nl: &mut Netlist, opts: &SynthOptions) -> usize {
     }
     roots.sort();
     roots.dedup();
+    let plans: Vec<Option<ConePlan>> =
+        synthir_logic::par::par_map(&roots, |&root| plan_root(nl, root, opts));
     let mut rebuilt = 0;
-    for root in roots {
-        if rebuild_root(nl, root, opts) {
+    let mut mutated = false;
+    for (&root, plan) in roots.iter().zip(&plans) {
+        if rebuild_root(nl, root, opts, plan.as_ref(), &mut mutated) {
             rebuilt += 1;
         }
     }
@@ -44,7 +56,51 @@ pub fn resynthesize(nl: &mut Netlist, opts: &SynthOptions) -> usize {
     rebuilt
 }
 
-fn rebuild_root(nl: &mut Netlist, root: NetId, opts: &SynthOptions) -> bool {
+/// The precomputed (phase-1) minimization of one cone, valid as long as the
+/// cone still collapses to the same function from the same start cover.
+struct ConePlan {
+    support: Vec<NetId>,
+    tt: TruthTable,
+    start: Cover,
+    minimized: Cover,
+}
+
+fn plan_root(nl: &Netlist, root: NetId, opts: &SynthOptions) -> Option<ConePlan> {
+    let driver = nl.driver(root)?;
+    let kind = nl.gate(driver).kind;
+    if kind.is_sequential() || kind.is_constant() {
+        return None;
+    }
+    let (support, tt) = cone_function(nl, root, opts.collapse_support)?;
+    if tt.as_constant().is_some() {
+        return None; // cheap: handled directly in phase 2
+    }
+    let start = structural_cover(nl, root, &support, 4 * opts.max_cover_cubes)
+        .unwrap_or_else(|| Cover::from_truth_table(&tt));
+    let minimized = minimize(&start, None, &EspressoOptions::default());
+    Some(ConePlan {
+        support,
+        tt,
+        start,
+        minimized,
+    })
+}
+
+fn rebuild_root(
+    nl: &mut Netlist,
+    root: NetId,
+    opts: &SynthOptions,
+    plan: Option<&ConePlan>,
+    mutated: &mut bool,
+) -> bool {
+    // Until the first mutation the netlist is exactly what phase 1 saw, so
+    // the plan needs no re-validation — re-collapsing the cone here would
+    // just repeat phase 1's work serially.
+    if let Some(p) = plan {
+        if !*mutated {
+            return apply_rebuild(nl, root, opts, &p.support, &p.tt, &p.minimized, mutated);
+        }
+    }
     let Some(driver) = nl.driver(root) else {
         return false;
     };
@@ -58,18 +114,36 @@ fn rebuild_root(nl: &mut Netlist, root: NetId, opts: &SynthOptions) -> bool {
     if let Some(v) = tt.as_constant() {
         let c = nl.constant(v);
         nl.replace_net_uses(root, c);
+        *mutated = true;
         return true;
     }
     // Seed the minimizer with the structural cover when it is small enough;
     // otherwise fall back to the canonical minterm cover.
     let start = structural_cover(nl, root, &support, 4 * opts.max_cover_cubes)
         .unwrap_or_else(|| Cover::from_truth_table(&tt));
-    let minimized = minimize(&start, None, &EspressoOptions::default());
+    let minimized = match plan {
+        Some(p) if p.support == support && p.tt == tt && p.start == start => p.minimized.clone(),
+        _ => minimize(&start, None, &EspressoOptions::default()),
+    };
+    apply_rebuild(nl, root, opts, &support, &tt, &minimized, mutated)
+}
+
+/// Accepts or rejects a minimized cover for a cone and stitches it in when
+/// it pays off. Sets `mutated` when the netlist changes.
+fn apply_rebuild(
+    nl: &mut Netlist,
+    root: NetId,
+    opts: &SynthOptions,
+    support: &[NetId],
+    tt: &TruthTable,
+    minimized: &Cover,
+    mutated: &mut bool,
+) -> bool {
     if minimized.cube_count() > opts.max_cover_cubes {
         return false; // parity-like function: keep the structural form
     }
     debug_assert_eq!(
-        minimized.to_truth_table(support.len()),
+        &minimized.to_truth_table(support.len()),
         tt,
         "resynthesis must preserve the cone function"
     );
@@ -78,14 +152,17 @@ fn rebuild_root(nl: &mut Netlist, root: NetId, opts: &SynthOptions) -> bool {
     let new_cost = {
         let mut scratch = Netlist::new("scratch");
         let fake = scratch.add_input("x", support.len());
-        let r = emit_cover(&mut scratch, &minimized, &fake);
+        let r = emit_cover(&mut scratch, minimized, &fake);
         let _ = r;
         scratch.area_report(&lib).combinational
     };
     if new_cost > dying_cone_area(nl, root, &lib) {
         return false;
     }
-    let new_root = emit_cover(nl, &minimized, &support);
+    let new_root = emit_cover(nl, minimized, support);
+    // emit_cover adds gates even when the rebuild is then abandoned, so the
+    // netlist diverges from the phase-1 snapshot either way.
+    *mutated = true;
     if new_root == root {
         return false;
     }
@@ -119,21 +196,13 @@ fn dying_cone_area(nl: &Netlist, root: NetId, lib: &Library) -> f64 {
             dying.insert(g);
         }
     }
-    dying
-        .iter()
-        .map(|&g| lib.area(nl.gate(g).kind))
-        .sum()
+    dying.iter().map(|&g| lib.area(nl.gate(g).kind)).sum()
 }
 
 /// Extracts a sum-of-products cover of the cone by structural collapse
 /// (the tool's internal "collapse" operation). Returns `None` if any
 /// intermediate cover exceeds `cap` cubes.
-pub fn structural_cover(
-    nl: &Netlist,
-    root: NetId,
-    support: &[NetId],
-    cap: usize,
-) -> Option<Cover> {
+pub fn structural_cover(nl: &Netlist, root: NetId, support: &[NetId], cap: usize) -> Option<Cover> {
     let nvars = support.len();
     let var_of = |n: NetId| support.iter().position(|&s| s == n);
     let gates = topo::cone_gates(nl, root);

@@ -33,10 +33,7 @@ use synthir_netlist::{topo, GateId, GateKind, NetId, Netlist, ResetKind};
 /// Returns the number of banks retimed.
 pub fn retime_backward(nl: &mut Netlist, max_support: usize) -> usize {
     let mut count = 0;
-    loop {
-        let Some(bank) = find_backward_candidate(nl, max_support) else {
-            break;
-        };
+    while let Some(bank) = find_backward_candidate(nl, max_support) {
         apply_backward(nl, &bank);
         count += 1;
         nl.sweep();
@@ -56,7 +53,10 @@ fn find_backward_candidate(nl: &Netlist, max_support: usize) -> Option<BackwardB
         std::collections::HashMap::new();
     for (id, g) in nl.gates() {
         if let GateKind::Dff { reset, .. } = g.kind {
-            groups.entry((reset, g.inputs.get(1).copied())).or_default().push(id);
+            groups
+                .entry((reset, g.inputs.get(1).copied()))
+                .or_default()
+                .push(id);
         }
     }
     'groups: for ((reset, _rst), flops) in groups {
@@ -74,10 +74,7 @@ fn find_backward_candidate(nl: &Netlist, max_support: usize) -> Option<BackwardB
             }
         }
         let support: Vec<NetId> = support.into_iter().collect();
-        if support.is_empty()
-            || support.len() > max_support
-            || support.len() >= flops.len()
-        {
+        if support.is_empty() || support.len() > max_support || support.len() >= flops.len() {
             continue;
         }
         // The D cones must be consumed only by this bank's D pins.
@@ -185,10 +182,7 @@ fn apply_backward(nl: &mut Netlist, bank: &BackwardBank) {
 /// Applies forward retiming greedily. Returns the number of cones retimed.
 pub fn retime_forward(nl: &mut Netlist, max_cone_support: usize) -> usize {
     let mut count = 0;
-    loop {
-        let Some(root) = find_candidate(nl, max_cone_support) else {
-            break;
-        };
+    while let Some(root) = find_candidate(nl, max_cone_support) {
         apply(nl, root);
         count += 1;
         nl.sweep();
@@ -259,13 +253,13 @@ fn find_candidate(nl: &Netlist, max_cone_support: usize) -> Option<NetId> {
         // The flops must fan out only into this cone (and the cone's root
         // gate set), otherwise duplication would grow the design. Output
         // ports count as external fanout.
-        let out_nets: std::collections::HashSet<NetId> =
-            nl.output_nets().into_iter().collect();
+        let out_nets: std::collections::HashSet<NetId> = nl.output_nets().into_iter().collect();
         let cone: std::collections::HashSet<GateId> =
             topo::cone_gates(nl, root).into_iter().collect();
-        if support.iter().any(|s| {
-            out_nets.contains(s) || fanout[s.index()].iter().any(|g| !cone.contains(g))
-        }) {
+        if support
+            .iter()
+            .any(|s| out_nets.contains(s) || fanout[s.index()].iter().any(|g| !cone.contains(g)))
+        {
             continue;
         }
         // Intermediate cone nets must not escape either, or the old cone
@@ -395,12 +389,9 @@ mod tests {
         let golden = reduction_design(ResetKind::Sync, 5);
         let mut retimed = golden.clone();
         retime_forward(&mut retimed, 16);
-        let res = synthir_sim::check_seq_equiv(
-            &golden,
-            &retimed,
-            &synthir_sim::EquivOptions::new(),
-        )
-        .unwrap();
+        let res =
+            synthir_sim::check_seq_equiv(&golden, &retimed, &synthir_sim::EquivOptions::new())
+                .unwrap();
         assert!(res.is_equivalent(), "{res:?}");
     }
 

@@ -116,7 +116,11 @@ fn propagate_group(nl: &mut Netlist, group: &NetGroupValues, max_k: usize) -> us
     };
     let is_const = |sig: &[u64], val: bool| -> bool {
         for (i, &w) in sig.iter().enumerate() {
-            let mask = if i + 1 == sig.len() { tail_mask } else { u64::MAX };
+            let mask = if i + 1 == sig.len() {
+                tail_mask
+            } else {
+                u64::MAX
+            };
             let expect = if val { mask } else { 0 };
             if w & mask != expect {
                 return false;

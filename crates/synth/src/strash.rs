@@ -59,12 +59,11 @@ fn normalize_inputs(kind: GateKind, inputs: &[NetId]) -> Vec<NetId> {
     match kind {
         And2 | And3 | And4 | Or2 | Or3 | Or4 | Nand2 | Nand3 | Nand4 | Nor2 | Nor3 | Nor4
         | Xor2 | Xnor2 => v.sort(),
-        Aoi21 | Oai21 => {
+        Aoi21 | Oai21
             // (a, b) symmetric; c fixed.
-            if v[0] > v[1] {
+            if v[0] > v[1] => {
                 v.swap(0, 1);
             }
-        }
         Aoi22 | Oai22 => {
             // (a,b) and (c,d) symmetric, and the pairs commute.
             if v[0] > v[1] {

@@ -149,7 +149,9 @@ fn try_widen(
         _ => return false,
     };
     for (i, &inp) in g.inputs.iter().enumerate() {
-        let Some(inner) = nl.driver(inp) else { continue };
+        let Some(inner) = nl.driver(inp) else {
+            continue;
+        };
         let ig = nl.gate(inner).clone();
         if ig.kind != two || !single_fanout(nl, inner) {
             continue;
@@ -253,8 +255,7 @@ mod tests {
         let after_area = nl.area_report(&lib).combinational;
         assert!(after_area < before_area);
         let res =
-            synthir_sim::check_comb_equiv(&golden, &nl, &synthir_sim::EquivOptions::new())
-                .unwrap();
+            synthir_sim::check_comb_equiv(&golden, &nl, &synthir_sim::EquivOptions::new()).unwrap();
         assert!(res.is_equivalent());
     }
 }

@@ -30,16 +30,25 @@ fn dma_program() -> MicroProgram {
     ]);
     let mut p = MicroProgram::new("dma", fmt, 2);
     // 0: wait for start.
-    p.emit(&[], NextCtl::CondJump { cond: COND_START, target: 2 });
+    p.emit(
+        &[],
+        NextCtl::CondJump {
+            cond: COND_START,
+            target: 2,
+        },
+    );
     p.emit(&[], NextCtl::Jump(0));
     // 2: fetch the descriptor.
     p.emit(&[("fetch", 1)], NextCtl::Seq);
     // 3-4: copy loop: engine 0 reads, engine 1 writes.
     p.emit(&[("engine", 0b0001), ("burst", 7)], NextCtl::Seq);
-    p.emit(&[("engine", 0b0010), ("burst", 7)], NextCtl::CondJump {
-        cond: COND_MORE,
-        target: 3,
-    });
+    p.emit(
+        &[("engine", 0b0010), ("burst", 7)],
+        NextCtl::CondJump {
+            cond: COND_MORE,
+            target: 3,
+        },
+    );
     // 5: interrupt, back to idle.
     p.emit(&[("irq", 1)], NextCtl::Jump(0));
     p
@@ -93,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // bursts and watch the engines fire.
     let elab = elaborate(&bound)?;
     let mut sim = SeqSim::new(&elab.netlist)?;
-    let mut cond = |v: u128| {
+    let cond = |v: u128| {
         let mut m = HashMap::new();
         m.insert("cond".to_string(), v);
         m

@@ -10,7 +10,10 @@ use synthir::synth::SynthOptions;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = Library::vt90();
     let opts = SynthOptions::default();
-    println!("{:<14} {:<7} {:>12} {:>12} {:>12}", "config", "flavor", "comb µm²", "seq µm²", "total µm²");
+    println!(
+        "{:<14} {:<7} {:>12} {:>12} {:>12}",
+        "config", "flavor", "comb µm²", "seq µm²", "total µm²"
+    );
     for cfg in [MemoryConfig::cached(), MemoryConfig::uncached()] {
         let mut auto_total = 0.0;
         for flavor in Flavor::all() {

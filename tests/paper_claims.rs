@@ -51,7 +51,10 @@ fn fig6_annotation_closes_gap() {
     assert!(plain >= anno * 0.999, "plain {plain:.0} anno {anno:.0}");
     let gap = (anno - case).abs() / case;
     assert!(gap < 0.15, "annotated-vs-case gap {gap:.3}");
-    assert!(plain > case * 1.02, "plain {plain:.0} must exceed case {case:.0}");
+    assert!(
+        plain > case * 1.02,
+        "plain {plain:.0} must exceed case {case:.0}"
+    );
 }
 
 /// §III-B / Fig. 8: state propagation works combinationally, stops at flop
@@ -86,8 +89,14 @@ fn fig9_auto_halves_full() {
     let auto = synthesize(&cfg, Flavor::Auto, &lib, &opts).unwrap();
     let seq_ratio = auto.area.sequential / full.area.sequential;
     let comb_ratio = auto.area.combinational / full.area.combinational;
-    assert!(seq_ratio > 0.3 && seq_ratio < 0.75, "seq ratio {seq_ratio:.3}");
-    assert!(comb_ratio > 0.3 && comb_ratio < 0.75, "comb ratio {comb_ratio:.3}");
+    assert!(
+        seq_ratio > 0.3 && seq_ratio < 0.75,
+        "seq ratio {seq_ratio:.3}"
+    );
+    assert!(
+        comb_ratio > 0.3 && comb_ratio < 0.75,
+        "comb ratio {comb_ratio:.3}"
+    );
 }
 
 /// Minimal local reimplementations of the bench harness entry points (the

@@ -93,7 +93,11 @@ fn pctrl_optimization_is_sound() {
             let mut eo = EquivOptions::new();
             eo.cycles = 128;
             let verdict = check_seq_equiv(&elab.netlist, &compiled.netlist, &eo).unwrap();
-            assert!(verdict.is_equivalent(), "{} {style:?}: {verdict:?}", cfg.tag());
+            assert!(
+                verdict.is_equivalent(),
+                "{} {style:?}: {verdict:?}",
+                cfg.tag()
+            );
         }
     }
 }

@@ -32,8 +32,13 @@ two:   set lane=0b10, tick=1 | jmp start
     assert!(vcd.contains("$var"));
     assert!(vcd.contains("lane"));
     // Round-trip through the disassembler preserves the program.
-    let p2 = assemble("pipe2", program.format().clone(), &["go"], &disassemble(&program, &["go"]))
-        .unwrap();
+    let p2 = assemble(
+        "pipe2",
+        program.format().clone(),
+        &["go"],
+        &disassemble(&program, &["go"]),
+    )
+    .unwrap();
     assert_eq!(program.instrs().len(), p2.instrs().len());
 }
 
@@ -74,10 +79,7 @@ fn pla_round_trip_through_minimizer() {
     let tts: Vec<TruthTable> = (0..2)
         .map(|i| TruthTable::from_fn(5, move |m| (m * 11 + i * 3) % 7 < 3))
         .collect();
-    let covers: Vec<Cover> = tts
-        .iter()
-        .map(|t| espresso::minimize_tt(t, None))
-        .collect();
+    let covers: Vec<Cover> = tts.iter().map(|t| espresso::minimize_tt(t, None)).collect();
     let text = to_pla(&covers);
     let back = from_pla(&text).unwrap();
     for (c, tt) in back.iter().zip(&tts) {
