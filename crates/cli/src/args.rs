@@ -1,0 +1,163 @@
+//! A small dependency-free argument parser.
+//!
+//! The build environment is offline, so instead of `clap` the subcommands
+//! share this parser: positional operands, `--flag` booleans, and
+//! `--key value` / `-k value` options, with `--` ending option parsing.
+
+use crate::CliError;
+
+/// Parsed arguments: positionals in order, plus flags and valued options.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses raw arguments given the sets of known boolean flags and
+    /// valued options (spelled without leading dashes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] on unknown options or a valued option missing
+    /// its value.
+    pub fn parse<S: AsRef<str>>(
+        raw: &[S],
+        known_flags: &[&str],
+        known_options: &[&str],
+    ) -> Result<Args, CliError> {
+        let mut a = Args::default();
+        let mut no_more_options = false;
+        let mut it = raw.iter().map(AsRef::as_ref);
+        while let Some(arg) = it.next() {
+            if no_more_options || !arg.starts_with('-') || arg == "-" {
+                a.positionals.push(arg.to_string());
+                continue;
+            }
+            if arg == "--" {
+                no_more_options = true;
+                continue;
+            }
+            let name = arg.trim_start_matches('-');
+            // `--key=value` spelling.
+            if let Some((k, v)) = name.split_once('=') {
+                if known_options.contains(&k) {
+                    a.options.push((k.to_string(), v.to_string()));
+                    continue;
+                }
+                return Err(CliError(format!("unknown option `--{k}`")));
+            }
+            if known_flags.contains(&name) {
+                a.flags.push(name.to_string());
+            } else if known_options.contains(&name) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("option `--{name}` needs a value")))?;
+                a.options.push((name.to_string(), v.to_string()));
+            } else {
+                return Err(CliError(format!("unknown option `{arg}`")));
+            }
+        }
+        Ok(a)
+    }
+
+    /// The positional operands, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Exactly `n` positionals, or an error naming what was expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] when the count differs.
+    pub fn expect_positionals(&self, n: usize, what: &str) -> Result<&[String], CliError> {
+        if self.positionals.len() != n {
+            return Err(CliError(format!(
+                "expected {what}, got {} operand(s)",
+                self.positionals.len()
+            )));
+        }
+        Ok(&self.positionals)
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The last value of a valued option, if given.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A valued option parsed to a type, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] when the value does not parse.
+    pub fn option_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("bad value `{v}` for `--{name}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_arguments() {
+        let a = Args::parse(
+            &["in.kiss2", "--style", "table", "-o", "out.v", "--report"],
+            &["report"],
+            &["style", "o"],
+        )
+        .unwrap();
+        assert_eq!(a.positionals(), ["in.kiss2"]);
+        assert!(a.flag("report"));
+        assert_eq!(a.option("style"), Some("table"));
+        assert_eq!(a.option("o"), Some("out.v"));
+        assert_eq!(a.option("missing"), None);
+    }
+
+    #[test]
+    fn equals_spelling_and_double_dash() {
+        let a = Args::parse(&["--style=case", "--", "--weird-file"], &[], &["style"]).unwrap();
+        assert_eq!(a.option("style"), Some("case"));
+        assert_eq!(a.positionals(), ["--weird-file"]);
+    }
+
+    #[test]
+    fn unknown_and_missing_values_error() {
+        assert!(Args::parse(&["--bogus"], &[], &[]).is_err());
+        assert!(Args::parse(&["--style"], &[], &["style"]).is_err());
+        let e = Args::parse(&["x", "y"], &[], &[])
+            .unwrap()
+            .expect_positionals(1, "one input file")
+            .unwrap_err();
+        assert!(e.to_string().contains("one input file"));
+    }
+
+    #[test]
+    fn parsed_options_with_defaults() {
+        let a = Args::parse(&["--cycles", "99"], &[], &["cycles"]).unwrap();
+        assert_eq!(a.option_parsed("cycles", 7usize).unwrap(), 99);
+        assert_eq!(a.option_parsed("other", 7usize).unwrap(), 7);
+        let bad = Args::parse(&["--cycles", "zz"], &[], &["cycles"]).unwrap();
+        assert!(bad.option_parsed("cycles", 0usize).is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! `synthir equiv` — the methodology's soundness check, as a command.
+//!
+//! The paper's central claim only holds if the specialized controller is
+//! input/output-equivalent to the flexible one it came from. This
+//! subcommand checks exactly that for KISS2 specs:
+//!
+//! * two *bound* styles (`table`, `table-annotated`, `case`) are compared
+//!   with [`synthir_sim::check_seq_equiv`] — reset both, drive identical
+//!   random input sequences, compare every output, every cycle;
+//! * against the `programmable` style the check becomes
+//!   *program-then-compare*: the flexible design's tables are first written
+//!   through its config port (one word per cycle), the state register is
+//!   re-reset, and only then does the lockstep comparison start — the
+//!   hardware analogue of binding the generator parameters.
+//!
+//! `--vcd` dumps the comparison run of the left design as a waveform for
+//! debugging failures.
+
+use crate::args::Args;
+use crate::fsm::Style;
+use crate::{design_name, CliError, CmdResult};
+use std::collections::HashMap;
+use synthir_core::format_conv::from_kiss2;
+use synthir_core::FsmSpec;
+use synthir_netlist::{Library, Netlist};
+use synthir_rtl::elaborate;
+use synthir_sim::vcd::VcdRecorder;
+use synthir_sim::{check_seq_equiv, EquivOptions, SeqSim};
+use synthir_synth::{flow::compile, SynthOptions};
+
+/// Usage text for `synthir equiv`.
+pub const USAGE: &str = "\
+usage: synthir equiv <spec.kiss2> [options]
+   or: synthir equiv <a.kiss2> <b.kiss2> [options]
+
+Checks input/output equivalence of two lowerings of a KISS2 spec (or of
+two specs sharing an interface). Against the `programmable` style the
+check programs the config tables first, then compares (program-then-
+compare).
+
+options:
+  --left <style>   left coding style (default table)
+  --right <style>  right coding style (default programmable)
+  --cycles <n>     comparison cycles (default 256)
+  --seed <s>       RNG seed for input sequences (default 0x5EED)
+  --synth          compare synthesized netlists instead of elaborations
+  --vcd <file>     dump the left design's comparison run as VCD
+";
+
+/// The verdict line printed on success.
+pub const EQUIVALENT: &str = "EQUIVALENT";
+
+/// Runs the subcommand; returns the text for stdout.
+///
+/// A found counterexample is reported as an error (nonzero exit), with the
+/// distinguishing cycle and values in the message.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad arguments, unparsable specs, incompatible
+/// interfaces, or an inequivalence counterexample.
+pub fn run(args: &Args) -> CmdResult {
+    let (left_path, right_path) = match args.positionals() {
+        [one] => (one.as_str(), one.as_str()),
+        [l, r] => (l.as_str(), r.as_str()),
+        other => {
+            return Err(CliError(format!(
+                "expected one or two .kiss2 operands, got {}",
+                other.len()
+            )))
+        }
+    };
+    let left_style = Style::parse(args.option("left").unwrap_or("table"))?;
+    let right_style = Style::parse(args.option("right").unwrap_or("programmable"))?;
+    let cycles: usize = args.option_parsed("cycles", 256)?;
+    let seed: u64 = args.option_parsed("seed", 0x5EED)?;
+
+    let read = |path: &str| -> Result<FsmSpec, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+        Ok(from_kiss2(design_name(path), &text)?)
+    };
+    let left_spec = read(left_path)?;
+    let right_spec = read(right_path)?;
+    if left_spec.num_inputs() != right_spec.num_inputs()
+        || left_spec.num_outputs() != right_spec.num_outputs()
+    {
+        return Err(CliError(format!(
+            "interface mismatch: {}×{} vs {}×{} input/output bits",
+            left_spec.num_inputs(),
+            left_spec.num_outputs(),
+            right_spec.num_inputs(),
+            right_spec.num_outputs()
+        )));
+    }
+
+    let lower = |spec: &FsmSpec, style: Style| -> Result<Netlist, CliError> {
+        let elab = elaborate(&style.lower(spec))?;
+        if args.flag("synth") {
+            Ok(compile(&elab, &Library::vt90(), &SynthOptions::default())?.netlist)
+        } else {
+            Ok(elab.netlist)
+        }
+    };
+    let left_nl = lower(&left_spec, left_style)?;
+    let right_nl = lower(&right_spec, right_style)?;
+
+    let mut out = format!(
+        "left  : {} ({:?}, {} gates)\nright : {} ({:?}, {} gates)\n",
+        left_spec.name(),
+        left_style,
+        left_nl.num_gates(),
+        right_spec.name(),
+        right_style,
+        right_nl.num_gates(),
+    );
+
+    let programmable = (
+        left_style == Style::Programmable,
+        right_style == Style::Programmable,
+    );
+    let verdict = if programmable.0 || programmable.1 {
+        lockstep_with_programming(
+            &left_nl,
+            &left_spec,
+            programmable.0,
+            &right_nl,
+            &right_spec,
+            programmable.1,
+            cycles,
+            seed,
+            args.option("vcd"),
+        )?
+    } else {
+        let mut opts = EquivOptions::new();
+        opts.cycles = cycles;
+        opts.seed = seed;
+        let res = check_seq_equiv(&left_nl, &right_nl, &opts)?;
+        if let Some(vcd) = args.option("vcd") {
+            record_vcd(&left_nl, cycles, seed, vcd)?;
+        }
+        match res {
+            synthir_sim::EquivResult::Equivalent => None,
+            synthir_sim::EquivResult::Inequivalent(cex) => Some(format!(
+                "output `{}` differs: left {:#x} vs right {:#x} (inputs {:?})",
+                cex.output, cex.left, cex.right, cex.inputs
+            )),
+        }
+    };
+
+    match verdict {
+        None => {
+            out.push_str(&format!(
+                "{EQUIVALENT} over {cycles} cycles (seed {seed:#x})\n"
+            ));
+            Ok(out)
+        }
+        Some(msg) => Err(CliError(format!("INEQUIVALENT: {msg}"))),
+    }
+}
+
+/// Lockstep comparison where at least one side is the programmable style:
+/// program each flexible side through its config port, re-reset the state
+/// registers, then drive identical random inputs and compare `out` each
+/// cycle. Returns `None` on success or a counterexample description.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_with_programming(
+    left_nl: &Netlist,
+    left_spec: &FsmSpec,
+    left_programmable: bool,
+    right_nl: &Netlist,
+    right_spec: &FsmSpec,
+    right_programmable: bool,
+    cycles: usize,
+    seed: u64,
+    vcd: Option<&str>,
+) -> Result<Option<String>, CliError> {
+    let mut left = SeqSim::new(left_nl)?;
+    let mut right = SeqSim::new(right_nl)?;
+
+    // Phase 1: program each flexible side, one table word per cycle. The
+    // bound side idles at reset (we simply don't step it).
+    let program = |sim: &mut SeqSim, spec: &FsmSpec| {
+        let (next_words, out_words) = spec.to_table_words();
+        for addr in 0..next_words.len() {
+            let mut m = HashMap::new();
+            m.insert("cfg_addr".to_string(), addr as u128);
+            m.insert("cfg_next".to_string(), next_words[addr]);
+            m.insert("cfg_out".to_string(), out_words[addr]);
+            m.insert("cfg_wen".to_string(), 1);
+            sim.step(&m);
+        }
+        // Re-reset: the µ-state register wandered during programming; the
+        // config memory flops have no reset wiring and keep their contents.
+        let mut rst = HashMap::new();
+        rst.insert("rst".to_string(), 1u128);
+        sim.step(&rst);
+    };
+    if left_programmable {
+        program(&mut left, left_spec);
+    }
+    if right_programmable {
+        program(&mut right, right_spec);
+    }
+
+    // Phase 2: lockstep with identical random input sequences.
+    let mut recorder = vcd.map(|_| VcdRecorder::new(left_nl, "1ns"));
+    let mut rng = seed;
+    let mask = if left_spec.num_inputs() >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << left_spec.num_inputs()) - 1
+    };
+    let mut verdict = None;
+    for cycle in 0..cycles.max(1) {
+        let input = (splitmix_next(&mut rng) & mask) as u128;
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), input);
+        let lout = left.step(&inputs);
+        let rout = right.step(&inputs);
+        if let Some(rec) = recorder.as_mut() {
+            rec.sample(&inputs, &lout);
+        }
+        if lout["out"] != rout["out"] {
+            verdict = Some(format!(
+                "cycle {cycle}: in={input:#x} → left out {:#x} vs right out {:#x}",
+                lout["out"], rout["out"]
+            ));
+            break;
+        }
+    }
+    if let (Some(rec), Some(path)) = (recorder, vcd) {
+        std::fs::write(path, rec.finish())
+            .map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+    }
+    Ok(verdict)
+}
+
+/// Records a standalone run of one design for `--vcd` in the bound-vs-bound
+/// case (the equivalence itself is checked by `check_seq_equiv`).
+fn record_vcd(nl: &Netlist, cycles: usize, seed: u64, path: &str) -> Result<(), CliError> {
+    let in_width = nl
+        .inputs()
+        .iter()
+        .find(|p| p.name == "in")
+        .map(|p| p.nets.len())
+        .unwrap_or(1);
+    let mask = if in_width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << in_width) - 1
+    };
+    let mut rng = seed;
+    let text = synthir_sim::vcd::record_run(nl, cycles, |_| {
+        let mut m = HashMap::new();
+        m.insert("in".to_string(), (splitmix_next(&mut rng) & mask) as u128);
+        m
+    })?;
+    std::fs::write(path, text).map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+    Ok(())
+}
+
+/// One SplitMix64 step — the same generator as the sim crate's random
+/// equivalence checks, so VCD dumps and lockstep runs share stimulus.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOGGLE: &str = ".i 1\n.o 1\n.r off\n1 off on 1\n- off off 0\n1 on off 0\n- on on 1\n.e\n";
+    /// Like TOGGLE but the `on` state drives 0 — behaviourally different.
+    const BROKEN: &str = ".i 1\n.o 1\n.r off\n1 off on 1\n- off off 0\n1 on off 0\n- on on 0\n.e\n";
+
+    fn write_temp(name: &str, text: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn parse(raw: &[&str]) -> Args {
+        Args::parse(raw, &["synth"], &["left", "right", "cycles", "seed", "vcd"]).unwrap()
+    }
+
+    #[test]
+    fn table_vs_case_is_equivalent() {
+        let p = write_temp("cli_eq_tc.kiss2", TOGGLE);
+        let out = run(&parse(&[&p, "--left", "table", "--right", "case"])).unwrap();
+        assert!(out.contains(EQUIVALENT), "{out}");
+    }
+
+    #[test]
+    fn table_vs_programmable_programs_then_compares() {
+        let p = write_temp("cli_eq_tp.kiss2", TOGGLE);
+        let out = run(&parse(&[&p, "--left", "table", "--right", "programmable"])).unwrap();
+        assert!(out.contains(EQUIVALENT), "{out}");
+    }
+
+    #[test]
+    fn synthesized_vs_programmable_is_equivalent() {
+        let p = write_temp("cli_eq_sp.kiss2", TOGGLE);
+        let out = run(&parse(&[
+            &p,
+            "--left",
+            "table",
+            "--right",
+            "programmable",
+            "--synth",
+        ]))
+        .unwrap();
+        assert!(out.contains(EQUIVALENT), "{out}");
+    }
+
+    #[test]
+    fn different_specs_are_caught() {
+        let a = write_temp("cli_eq_a.kiss2", TOGGLE);
+        let b = write_temp("cli_eq_b.kiss2", BROKEN);
+        let e = run(&parse(&[&a, &b, "--left", "table", "--right", "table"])).unwrap_err();
+        assert!(e.to_string().contains("INEQUIVALENT"), "{e}");
+        // And against the programmed flexible design too.
+        let e = run(&parse(&[
+            &a,
+            &b,
+            "--left",
+            "table",
+            "--right",
+            "programmable",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("INEQUIVALENT"), "{e}");
+    }
+
+    #[test]
+    fn vcd_is_dumped() {
+        let p = write_temp("cli_eq_vcd.kiss2", TOGGLE);
+        let vcd = std::env::temp_dir().join("cli_eq_dump.vcd");
+        let vcd_s = vcd.to_string_lossy().into_owned();
+        let out = run(&parse(&[&p, "--right", "programmable", "--vcd", &vcd_s])).unwrap();
+        assert!(out.contains(EQUIVALENT), "{out}");
+        let text = std::fs::read_to_string(&vcd).unwrap();
+        assert!(text.contains("$enddefinitions"), "{text}");
+        // Bound-vs-bound path writes one too.
+        let out = run(&parse(&[&p, "--right", "case", "--vcd", &vcd_s])).unwrap();
+        assert!(out.contains(EQUIVALENT), "{out}");
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let a = write_temp("cli_eq_w1.kiss2", TOGGLE);
+        let b = write_temp("cli_eq_w2.kiss2", ".i 2\n.o 1\n.r s\n-- s s 0\n");
+        let e = run(&parse(&[&a, &b])).unwrap_err();
+        assert!(e.to_string().contains("interface mismatch"), "{e}");
+    }
+}

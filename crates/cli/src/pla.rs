@@ -1,0 +1,135 @@
+//! `synthir pla` — espresso-format two-level minimization.
+//!
+//! Reads a `.pla` file (any of the `f`/`fd`/`fr`/`fdr` output semantics),
+//! minimizes every output with the URP espresso kernel, and writes the
+//! minimized `f`-type PLA back out — the classic `espresso in.pla >
+//! out.pla` loop, backed by this workspace's kernel.
+
+use crate::args::Args;
+use crate::{CliError, CmdResult};
+use synthir_logic::espresso::EspressoOptions;
+use synthir_logic::pla::Pla;
+
+/// Usage text for `synthir pla`.
+pub const USAGE: &str = "\
+usage: synthir pla <in.pla> [options]
+
+Reads an espresso-format PLA (.type f, fd, fr, or fdr), minimizes every
+output with the URP kernel, and writes the minimized f-type PLA.
+
+options:
+  -o <file>       write the minimized PLA to <file> (default: stdout)
+  --stats         print term/literal statistics instead of the PLA
+  --echo          parse and re-render without minimizing (format check)
+";
+
+/// Runs the subcommand; returns the text for stdout.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad arguments or unparsable input.
+pub fn run(args: &Args) -> CmdResult {
+    let [path] = args.expect_positionals(1, "one <in.pla> operand")? else {
+        unreachable!()
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    let pla = Pla::parse(&text)?;
+    let result = if args.flag("echo") {
+        pla.clone()
+    } else {
+        pla.minimized(&EspressoOptions::default())
+    };
+
+    let mut out = String::new();
+    if args.flag("stats") {
+        let before: usize = pla.term_count();
+        let after: usize = result.term_count();
+        let lits_before: usize = pla.on.iter().map(|c| c.literal_count()).sum();
+        let lits_after: usize = result.on.iter().map(|c| c.literal_count()).sum();
+        out.push_str(&format!(
+            "{} inputs, {} outputs (.type {})\nterms    : {before} → {after}\nliterals : {lits_before} → {lits_after}\n",
+            pla.num_inputs,
+            pla.num_outputs,
+            pla.kind.as_str(),
+        ));
+    }
+    match args.option("o") {
+        // With --stats and no explicit file, the statistics replace the
+        // PLA text (and the render pass is skipped entirely).
+        Some("-") | None if !args.flag("stats") => out.push_str(&result.render()),
+        Some("-") | None => {}
+        Some(opath) => {
+            std::fs::write(opath, result.render())
+                .map_err(|e| CliError(format!("cannot write `{opath}`: {e}")))?;
+            out.push_str(&format!("wrote {opath} ({} terms)\n", result.term_count()));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, text: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn minimizes_a_redundant_cover() {
+        // Four minterm cubes of a 2-var tautology → one universe cube.
+        let path = write_temp(
+            "cli_pla_taut.pla",
+            ".i 2\n.o 1\n00 1\n01 1\n10 1\n11 1\n.e\n",
+        );
+        let args = Args::parse(&[path.as_str()], &["stats", "echo"], &["o"]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains(".p 1"), "{out}");
+        assert!(out.contains("-- 1"), "{out}");
+    }
+
+    #[test]
+    fn fr_dont_cares_are_exploited() {
+        // ON {11}, OFF {00}: with 01/10 as DC the cover can be one cube.
+        let path = write_temp("cli_pla_fr.pla", ".i 2\n.o 1\n.type fr\n11 1\n00 0\n.e\n");
+        let args = Args::parse(
+            &[path.as_str(), "--stats", "-o", "-"],
+            &["stats", "echo"],
+            &["o"],
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("terms    : 2 → 1"), "{out}");
+    }
+
+    #[test]
+    fn echo_round_trips() {
+        let src = ".i 2\n.o 2\n.ilb a b\n.ob x y\n.type fd\n.p 2\n11 1-\n0- -1\n.e\n";
+        let path = write_temp("cli_pla_echo.pla", src);
+        let args = Args::parse(&[path.as_str(), "--echo"], &["stats", "echo"], &["o"]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains(".ilb a b"), "{out}");
+        assert!(out.contains(".type fd"), "{out}");
+        let again = Pla::parse(&out).unwrap();
+        assert_eq!(again, Pla::parse(src).unwrap());
+    }
+
+    #[test]
+    fn output_file_is_written() {
+        let path = write_temp("cli_pla_out.pla", ".i 1\n.o 1\n1 1\n.e\n");
+        let opath = write_temp("cli_pla_out_min.pla", "");
+        let args = Args::parse(
+            &[path.as_str(), "-o", opath.as_str()],
+            &["stats", "echo"],
+            &["o"],
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let written = std::fs::read_to_string(&opath).unwrap();
+        assert!(written.contains(".i 1"), "{written}");
+    }
+}

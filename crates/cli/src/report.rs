@@ -1,0 +1,119 @@
+//! Plain-text synthesis report rendering.
+//!
+//! One human-readable block per compiled design: cell statistics, the
+//! area split of [`synthir_netlist::AreaReport`], the static timing of
+//! [`synthir_synth::timing::TimingReport`], a first-order power estimate,
+//! and the pass log of the synthesis flow — the textual equivalent of the
+//! area/timing tables the paper's figures are built from.
+
+use std::fmt::Write as _;
+use synthir_netlist::{estimate_power, Library, Netlist};
+use synthir_synth::flow::CompileResult;
+
+/// Options for report rendering.
+#[derive(Clone, Copy, Debug)]
+pub struct ReportOptions {
+    /// Target clock period in ns for the slack line.
+    pub clock_ns: f64,
+    /// Uniform switching activity for the power estimate.
+    pub activity: f64,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            clock_ns: 2.0,
+            activity: 0.15,
+        }
+    }
+}
+
+/// Renders a full report for a compiled design.
+pub fn render(title: &str, r: &CompileResult, lib: &Library, opts: &ReportOptions) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "=== {title} ===");
+    s.push_str(&render_netlist_stats(&r.netlist, lib, opts));
+    let _ = writeln!(
+        s,
+        "timing   : critical {:.3} ns | slack @ {:.1} ns clock: {:+.3} ns ({})",
+        r.timing.critical_delay,
+        opts.clock_ns,
+        r.timing.slack(opts.clock_ns),
+        if r.timing.meets(opts.clock_ns) {
+            "met"
+        } else {
+            "VIOLATED"
+        }
+    );
+    if !r.stats.is_empty() {
+        let passes: Vec<String> = r
+            .stats
+            .iter()
+            .map(|(name, n)| format!("{name}:{n}"))
+            .collect();
+        let _ = writeln!(s, "passes   : {}", passes.join(" "));
+    }
+    s
+}
+
+/// Renders the netlist-only statistics (gates, flops, area, power) — the
+/// subset of [`render`] that needs no synthesis run.
+pub fn render_netlist_stats(nl: &Netlist, lib: &Library, opts: &ReportOptions) -> String {
+    let mut s = String::new();
+    let area = nl.area_report(lib);
+    let power = estimate_power(nl, lib, opts.activity);
+    let _ = writeln!(
+        s,
+        "cells    : {} gates ({} flops)",
+        nl.num_gates(),
+        nl.flop_count()
+    );
+    let _ = writeln!(s, "area     : {area}");
+    let _ = writeln!(s, "power    : {power} (activity {:.2})", opts.activity);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthir_rtl::{elaborate, styles};
+    use synthir_synth::{flow::compile, SynthOptions};
+
+    #[test]
+    fn report_contains_every_section() {
+        let words: Vec<u128> = (0..8).map(|m| m as u128 & 1).collect();
+        let m = styles::table_module("t", 3, 1, &words);
+        let lib = Library::vt90();
+        let r = compile(&elaborate(&m).unwrap(), &lib, &SynthOptions::default()).unwrap();
+        let text = render("t", &r, &lib, &ReportOptions::default());
+        for needle in [
+            "=== t ===",
+            "cells",
+            "area",
+            "power",
+            "timing",
+            "passes",
+            "µm²",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn violated_timing_is_called_out() {
+        let words: Vec<u128> = (0..256).map(|m| (m as u128 * 0x9E) & 0xFF).collect();
+        let m = styles::table_module("big", 8, 8, &words);
+        let lib = Library::vt90();
+        let r = compile(&elaborate(&m).unwrap(), &lib, &SynthOptions::default()).unwrap();
+        let text = render(
+            "big",
+            &r,
+            &lib,
+            &ReportOptions {
+                clock_ns: 1e-6,
+                ..Default::default()
+            },
+        );
+        assert!(text.contains("VIOLATED"), "{text}");
+    }
+}

@@ -1,0 +1,308 @@
+//! `synthir ucode` — textual microcode to a synthesized sequencer.
+//!
+//! A `.uasm` file declares its microinstruction format inline and then
+//! holds the program in the [`synthir_core::asm`] assembler syntax:
+//!
+//! ```text
+//! .field engine onehot 4   ; one-hot field with 4 lanes
+//! .field burst 3           ; 3-bit binary field
+//! .field irq 1
+//! .cond start              ; condition input 0
+//! .cond more               ; condition input 1
+//!
+//! idle:  nop | jnz start, copy
+//!        jmp idle
+//! copy:  set engine=0b0001, burst=7 | jnz more, copy
+//!        set irq=1 | jmp idle
+//! ```
+//!
+//! The program is assembled, lowered to a microcode-sequencer module
+//! (bound or flexible store), synthesized, and emitted as Verilog — the
+//! "design flows continue using existing microprogramming tools" workflow
+//! the paper argues for, as one command.
+
+use crate::args::Args;
+use crate::report::{render, ReportOptions};
+use crate::{design_name, CliError, CmdResult};
+use synthir_core::asm::{assemble, disassemble};
+use synthir_core::sequencer::{generate, SequencerOptions};
+use synthir_core::{Field, MicroProgram, MicrocodeFormat};
+use synthir_netlist::{verilog, Library};
+use synthir_rtl::elaborate;
+use synthir_synth::{flow::compile, SynthOptions};
+
+/// Usage text for `synthir ucode`.
+pub const USAGE: &str = "\
+usage: synthir ucode <prog.uasm> [options]
+
+Assembles a textual microcode program (with inline .field/.cond format
+directives) into a microcode sequencer and synthesizes it.
+
+options:
+  -o <file>          write structural Verilog to <file> ('-' for stdout)
+  --report           print the area/timing/power report
+  --clock <ns>       clock period for the slack line (default 2.0)
+  --flexible         runtime-writable microcode store (the paper's 'Full')
+  --register-outputs add a pipeline flop per field output
+  --annotate         attach generator-derived FSM + value-set annotations
+                     (bound store only)
+  --disasm           print the assembled program as a disassembly listing
+";
+
+/// A parsed `.uasm` file: the format, condition names, and program body.
+#[derive(Debug)]
+pub struct UcodeSource {
+    /// The declared microinstruction format.
+    pub format: MicrocodeFormat,
+    /// Condition input names, in declaration (index) order.
+    pub conds: Vec<String>,
+    /// The assembler body with directive lines blanked (so assembler
+    /// errors keep the original line numbers).
+    pub body: String,
+}
+
+/// Splits a `.uasm` file into format directives and assembler body.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a line-numbered message for malformed
+/// directives or a missing format.
+pub fn parse_source(text: &str) -> Result<UcodeSource, CliError> {
+    let mut fields: Vec<Field> = Vec::new();
+    let mut conds: Vec<String> = Vec::new();
+    let mut body_lines: Vec<&str> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let stripped = raw.split(';').next().unwrap_or("").trim();
+        if !stripped.starts_with('.') {
+            body_lines.push(raw);
+            continue;
+        }
+        body_lines.push(""); // keep assembler line numbers aligned
+        let err = |msg: String| CliError(format!("line {}: {msg}", lineno + 1));
+        let mut parts = stripped.split_whitespace();
+        let dir = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        match dir {
+            ".field" => match rest.as_slice() {
+                [name, "onehot", lanes] => {
+                    let lanes: usize = lanes
+                        .parse()
+                        .map_err(|_| err(format!("bad lane count `{lanes}`")))?;
+                    fields.push(Field::one_hot(*name, lanes));
+                }
+                [name, width] => {
+                    let width: usize = width
+                        .parse()
+                        .map_err(|_| err(format!("bad width `{width}`")))?;
+                    fields.push(Field::binary(*name, width));
+                }
+                _ => {
+                    return Err(err(
+                        "expected `.field <name> <width>` or `.field <name> onehot <lanes>`".into(),
+                    ))
+                }
+            },
+            ".cond" => match rest.as_slice() {
+                [name] => conds.push(name.to_string()),
+                _ => return Err(err("expected `.cond <name>`".into())),
+            },
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+    if fields.is_empty() {
+        return Err(CliError(
+            "no `.field` directives — a microcode format is required".into(),
+        ));
+    }
+    Ok(UcodeSource {
+        format: MicrocodeFormat::new(fields),
+        conds,
+        body: body_lines.join("\n"),
+    })
+}
+
+/// Assembles a `.uasm` text into a [`MicroProgram`] named `name`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for directive or assembler failures.
+pub fn assemble_source(name: &str, text: &str) -> Result<(MicroProgram, Vec<String>), CliError> {
+    let src = parse_source(text)?;
+    let cond_refs: Vec<&str> = src.conds.iter().map(String::as_str).collect();
+    let program = assemble(name, src.format, &cond_refs, &src.body)?;
+    Ok((program, src.conds))
+}
+
+/// Runs the subcommand; returns the text for stdout.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad arguments, assembly failures, or
+/// elaboration/synthesis failures.
+pub fn run(args: &Args) -> CmdResult {
+    let [path] = args.expect_positionals(1, "one <prog.uasm> operand")? else {
+        unreachable!()
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    let (program, conds) = assemble_source(&design_name(path), &text)?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{}: {} instructions, {}-bit control word fields, {} condition(s)\n",
+        program.name(),
+        program.instrs().len(),
+        program.format().width(),
+        program.num_conds(),
+    ));
+    if args.flag("disasm") {
+        let cond_refs: Vec<&str> = conds.iter().map(String::as_str).collect();
+        out.push_str(&disassemble(&program, &cond_refs));
+    }
+
+    let flexible = args.flag("flexible");
+    let annotate = args.flag("annotate");
+    if annotate && flexible {
+        return Err(CliError(
+            "--annotate requires a bound store (drop --flexible)".into(),
+        ));
+    }
+    let sopts = SequencerOptions {
+        flexible,
+        register_outputs: args.flag("register-outputs"),
+        annotate_fsm: annotate,
+        annotate_fields: annotate && args.flag("register-outputs"),
+    };
+    let module = generate(&program, sopts)?;
+    let elab = elaborate(&module)?;
+    let lib = Library::vt90();
+    let r = compile(&elab, &lib, &SynthOptions::default())?;
+    let report_opts = ReportOptions {
+        clock_ns: args.option_parsed("clock", ReportOptions::default().clock_ns)?,
+        ..Default::default()
+    };
+    if args.flag("report") {
+        out.push_str(&render(module.name(), &r, &lib, &report_opts));
+    } else {
+        out.push_str(&format!(
+            "synthesized {}: {} gates ({} flops), area {:.1} µm²\n",
+            module.name(),
+            r.netlist.num_gates(),
+            r.netlist.flop_count(),
+            r.area.total()
+        ));
+    }
+
+    if let Some(vpath) = args.option("o") {
+        let v = verilog::to_verilog(&r.netlist);
+        if vpath == "-" {
+            out.push_str(&v);
+        } else {
+            std::fs::write(vpath, &v)
+                .map_err(|e| CliError(format!("cannot write `{vpath}`: {e}")))?;
+            out.push_str(&format!("wrote {vpath} ({} lines)\n", v.lines().count()));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DMA: &str = "\
+.field engine onehot 4
+.field burst 3
+.field irq 1
+.cond start
+.cond more
+
+idle:  nop | jnz start, copy
+       jmp idle
+copy:  set engine=0b0001, burst=7
+       set engine=0b0010, burst=7 | jnz more, copy
+       set irq=1 | jmp idle
+";
+
+    fn write_temp(name: &str, text: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn directives_build_the_format() {
+        let src = parse_source(DMA).unwrap();
+        assert_eq!(src.format.fields().len(), 3);
+        assert_eq!(src.format.fields()[0].width, 4);
+        assert_eq!(src.conds, ["start", "more"]);
+    }
+
+    #[test]
+    fn assembler_line_numbers_survive_directive_stripping() {
+        let bad = ".field x 1\n.cond c\nnop\nbogus\n";
+        let e = assemble_source("t", bad).unwrap_err();
+        assert!(e.to_string().contains("line 4"), "{e}");
+    }
+
+    #[test]
+    fn full_pipeline_synthesizes() {
+        let path = write_temp("cli_ucode_dma.uasm", DMA);
+        let args = Args::parse(
+            &[path.as_str(), "--report", "--disasm"],
+            &[
+                "report",
+                "flexible",
+                "register-outputs",
+                "annotate",
+                "disasm",
+            ],
+            &["o", "clock"],
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("5 instructions"), "{out}");
+        assert!(out.contains("area"), "{out}");
+        assert!(out.contains("jnz start"), "{out}");
+    }
+
+    #[test]
+    fn flexible_store_is_larger_than_bound() {
+        let path = write_temp("cli_ucode_flex.uasm", DMA);
+        let base = Args::parse(&[path.as_str()], &["flexible"], &["o", "clock"]).unwrap();
+        let flex = Args::parse(
+            &[path.as_str(), "--flexible"],
+            &["flexible"],
+            &["o", "clock"],
+        )
+        .unwrap();
+        let area = |out: &str| -> f64 {
+            let tail = out.split("area ").nth(1).unwrap();
+            tail.split(' ').next().unwrap().parse().unwrap()
+        };
+        let a_bound = area(&run(&base).unwrap());
+        let a_flex = area(&run(&flex).unwrap());
+        assert!(
+            a_flex > 2.0 * a_bound,
+            "flexible {a_flex} vs bound {a_bound}"
+        );
+    }
+
+    #[test]
+    fn annotate_conflicts_with_flexible() {
+        let path = write_temp("cli_ucode_conflict.uasm", DMA);
+        let args = Args::parse(
+            &[path.as_str(), "--flexible", "--annotate"],
+            &["flexible", "annotate"],
+            &["o", "clock"],
+        )
+        .unwrap();
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn missing_format_is_an_error() {
+        let e = parse_source("nop\n").unwrap_err();
+        assert!(e.to_string().contains(".field"), "{e}");
+    }
+}

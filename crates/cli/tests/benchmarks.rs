@@ -1,0 +1,133 @@
+//! End-to-end runs of every shipped benchmark through the CLI pipelines —
+//! the offline demonstration the README promises, as a test.
+
+use synthir_cli::args::Args;
+use synthir_cli::{equiv, fsm, pla, ucode};
+
+fn bench_path(name: &str) -> String {
+    format!("{}/../../benchmarks/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn kiss2_benchmarks() -> Vec<String> {
+    let dir = format!("{}/../../benchmarks", env!("CARGO_MANIFEST_DIR"));
+    let mut v: Vec<String> = std::fs::read_dir(dir)
+        .expect("benchmarks/ exists")
+        .filter_map(|e| Some(e.ok()?.path().to_string_lossy().into_owned()))
+        .filter(|p| p.ends_with(".kiss2"))
+        .collect();
+    v.sort();
+    assert!(
+        v.len() >= 3,
+        "expected at least 3 KISS2 benchmarks, got {v:?}"
+    );
+    v
+}
+
+/// The ISSUE's acceptance flow: `synthir fsm <x>.kiss2 --style table -o
+/// out.v --report` runs end-to-end, and the emitted module is equivalent to
+/// the programmable baseline under `synthir equiv`.
+#[test]
+fn every_kiss2_benchmark_synthesizes_and_matches_programmable_baseline() {
+    for path in kiss2_benchmarks() {
+        let out_v = std::env::temp_dir().join(format!(
+            "bench_{}.v",
+            std::path::Path::new(&path)
+                .file_stem()
+                .unwrap()
+                .to_string_lossy()
+        ));
+        let out_v = out_v.to_string_lossy().into_owned();
+        let args = Args::parse(
+            &[
+                path.as_str(),
+                "--style",
+                "table",
+                "-o",
+                out_v.as_str(),
+                "--report",
+            ],
+            &["report", "no-synth"],
+            &["style", "o", "clock"],
+        )
+        .unwrap();
+        let out = fsm::run(&args).unwrap();
+        assert!(out.contains("area"), "{path}: {out}");
+        let verilog = std::fs::read_to_string(&out_v).unwrap();
+        assert!(verilog.contains("module "), "{path}: no module in {out_v}");
+
+        let eq_args = Args::parse(
+            &[
+                path.as_str(),
+                "--left",
+                "table",
+                "--right",
+                "programmable",
+                "--synth",
+            ],
+            &["synth"],
+            &["left", "right", "cycles", "seed", "vcd"],
+        )
+        .unwrap();
+        let eq = equiv::run(&eq_args).unwrap();
+        assert!(eq.contains(equiv::EQUIVALENT), "{path}: {eq}");
+    }
+}
+
+/// Every KISS2 benchmark also agrees across all three bound styles.
+#[test]
+fn kiss2_benchmarks_agree_across_bound_styles() {
+    for path in kiss2_benchmarks() {
+        for style in ["table-annotated", "case"] {
+            let args = Args::parse(
+                &[path.as_str(), "--left", "table", "--right", style],
+                &["synth"],
+                &["left", "right", "cycles", "seed", "vcd"],
+            )
+            .unwrap();
+            let out = equiv::run(&args).unwrap();
+            assert!(out.contains(equiv::EQUIVALENT), "{path} vs {style}: {out}");
+        }
+    }
+}
+
+#[test]
+fn pla_benchmarks_minimize() {
+    for (name, expect_fewer) in [("majority.pla", false), ("one_hot.pla", true)] {
+        let path = bench_path(name);
+        let args = Args::parse(&[path.as_str(), "--stats"], &["stats", "echo"], &["o"]).unwrap();
+        let out = pla::run(&args).unwrap();
+        assert!(out.contains("terms"), "{name}: {out}");
+        if expect_fewer {
+            // The fr-type benchmark has exploitable don't-cares.
+            let nums: Vec<usize> = out
+                .lines()
+                .find(|l| l.starts_with("terms"))
+                .unwrap()
+                .split(|c: char| !c.is_ascii_digit())
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().unwrap())
+                .collect();
+            assert!(nums[1] < nums[0], "{name}: {out}");
+        }
+    }
+}
+
+#[test]
+fn ucode_benchmark_assembles_and_synthesizes() {
+    let path = bench_path("dma_copy.uasm");
+    let args = Args::parse(
+        &[path.as_str(), "--report", "--disasm"],
+        &[
+            "report",
+            "flexible",
+            "register-outputs",
+            "annotate",
+            "disasm",
+        ],
+        &["o", "clock"],
+    )
+    .unwrap();
+    let out = ucode::run(&args).unwrap();
+    assert!(out.contains("instructions"), "{out}");
+    assert!(out.contains("area"), "{out}");
+}

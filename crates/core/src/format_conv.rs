@@ -1,4 +1,4 @@
-//! Horizontal ↔ vertical microcode format conversion.
+//! Interchange-format conversion: microcode re-encoding and KISS2 FSM I/O.
 //!
 //! "In practice, microcode format varies from being inefficiently encoded
 //! but more readable (known as horizontal microcode) or efficiently encoded
@@ -6,14 +6,25 @@
 //! horizontal formats to simplify the paths between the controllers and the
 //! datapath units." — the paper, §II-B.
 //!
-//! These converters re-encode one-hot (horizontal) fields into packed
-//! binary (vertical) and back, rewriting both the format and every
-//! microinstruction. Verticalizing shrinks the control store; the cost is
-//! the decoder logic the paper's horizontal formats avoid — which is
-//! exactly the trade the [`crate::sequencer`] experiments can now measure.
+//! Two families of converters live here:
+//!
+//! * [`verticalize`] / [`horizontalize`] re-encode one-hot (horizontal)
+//!   microcode fields into packed binary (vertical) and back, rewriting
+//!   both the format and every microinstruction. Verticalizing shrinks the
+//!   control store; the cost is the decoder logic the paper's horizontal
+//!   formats avoid — which is exactly the trade the [`crate::sequencer`]
+//!   experiments can measure.
+//! * [`to_kiss2`] / [`from_kiss2`] move [`FsmSpec`]s through the KISS2
+//!   textual FSM format of the SIS/MCNC benchmark lineage, so external
+//!   state machines can be fed into the synthesis flow and generator-built
+//!   ones exported to other tools.
 
+use crate::fsm::FsmSpec;
 use crate::microcode::{Field, FieldEncoding, MicroInstr, MicroProgram, MicrocodeFormat};
-use crate::CoreError;
+use crate::{CoreError, StateId};
+use std::collections::HashMap;
+use synthir_logic::cube::Literal;
+use synthir_logic::Cube;
 
 /// Converts every one-hot field to a packed binary field of
 /// `ceil(log2(lanes + 1))` bits (value 0 = no lane, `i + 1` = lane `i`).
@@ -109,6 +120,262 @@ pub fn horizontalize(
     Ok(out)
 }
 
+/// Serializes an FSM to KISS2 text.
+///
+/// The emitted file carries `.i`/`.o`/`.p`/`.s`/`.r` headers and one
+/// `<input-cube> <state> <next-state> <outputs>` term per transition rule,
+/// in priority order, followed by one all-don't-care catch-all term per
+/// state encoding its default transition. Input cubes and output patterns
+/// are printed MSB first (leftmost column = highest bit), matching the PLA
+/// convention of `synthir_logic::pla`.
+///
+/// Reading the text back with [`from_kiss2`] reproduces the spec's
+/// behaviour exactly (term order is match priority), though not necessarily
+/// its internal rule structure — defaults become explicit catch-all rules.
+pub fn to_kiss2(spec: &FsmSpec) -> String {
+    let universe = Cube::universe(spec.num_inputs());
+    // One term list per state: the rules in priority order, truncated at the
+    // first catch-all (later rules and the default can never match), plus an
+    // explicit catch-all for the default if none was present.
+    let state_terms = |s: StateId| -> Vec<(Cube, StateId, u128)> {
+        let mut v = Vec::new();
+        for r in spec.rules(s) {
+            v.push((r.guard, r.next, r.outputs));
+            if r.guard == universe {
+                return v;
+            }
+        }
+        let (dn, dout) = spec.default_of(s);
+        v.push((universe, dn, dout));
+        v
+    };
+    // Emit state blocks in the order a reader would intern the names (reset
+    // first, then first mention, then any never-mentioned orphans), so that
+    // write → read → write is a textual fixed point.
+    let mut order: Vec<StateId> = vec![spec.reset_state()];
+    let mut seen = vec![false; spec.state_count()];
+    seen[spec.reset_state().0] = true;
+    let mut idx = 0;
+    loop {
+        while idx < order.len() {
+            for (_, next, _) in state_terms(order[idx]) {
+                if !seen[next.0] {
+                    seen[next.0] = true;
+                    order.push(next);
+                }
+            }
+            idx += 1;
+        }
+        match (0..spec.state_count()).find(|&si| !seen[si]) {
+            Some(orphan) => {
+                seen[orphan] = true;
+                order.push(StateId(orphan));
+            }
+            None => break,
+        }
+    }
+    let mut terms: Vec<(Cube, StateId, StateId, u128)> = Vec::new();
+    for &s in &order {
+        for (guard, next, outputs) in state_terms(s) {
+            terms.push((guard, s, next, outputs));
+        }
+    }
+    let mut out = format!("# {}\n", spec.name());
+    out.push_str(&format!(
+        ".i {}\n.o {}\n.p {}\n.s {}\n.r {}\n",
+        spec.num_inputs(),
+        spec.num_outputs(),
+        terms.len(),
+        spec.state_count(),
+        spec.state_name(spec.reset_state())
+    ));
+    for (guard, s, next, outputs) in terms {
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            render_cube(&guard),
+            spec.state_name(s),
+            spec.state_name(next),
+            render_outputs(outputs, spec.num_outputs())
+        ));
+    }
+    out.push_str(".e\n");
+    out
+}
+
+/// Parses KISS2 text into an [`FsmSpec`] named `name`.
+///
+/// Supported directives: `.i`, `.o`, `.p` (advisory), `.s` (advisory),
+/// `.r`, `.e`/`.end`, and `#` comments. States are created in order of
+/// first mention; term order is match priority (the first matching term per
+/// state wins, KISS2 files in the MCNC tradition have disjoint terms so the
+/// order is then irrelevant). Output `-` columns read as 0. The reset state
+/// defaults to the first-mentioned state when `.r` is absent.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSpec`] with a line-numbered message for unknown
+/// directives, arity mismatches, or characters outside the cube alphabet.
+pub fn from_kiss2(name: impl Into<String>, text: &str) -> Result<FsmSpec, CoreError> {
+    let mut ni: Option<usize> = None;
+    let mut no: Option<usize> = None;
+    let mut reset_name: Option<String> = None;
+    // Terms are collected first: state ids are assigned on first mention,
+    // and rules can reference states defined later in the file.
+    let mut states: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut terms: Vec<(Cube, usize, usize, u128)> = Vec::new();
+    let intern = |name: &str, states: &mut Vec<String>, index: &mut HashMap<String, usize>| {
+        *index.entry(name.to_string()).or_insert_with(|| {
+            states.push(name.to_string());
+            states.len() - 1
+        })
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| CoreError::BadSpec(format!("kiss2 line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let dir = parts.next().unwrap_or("");
+            let arg = parts.next();
+            match dir {
+                "i" => {
+                    let n: usize = arg
+                        .and_then(|a| a.parse().ok())
+                        .ok_or_else(|| err(".i needs a count".into()))?;
+                    if n > 16 {
+                        return Err(err(format!("{n} inputs exceed the 16-bit FSM limit")));
+                    }
+                    ni = Some(n);
+                }
+                "o" => {
+                    let n: usize = arg
+                        .and_then(|a| a.parse().ok())
+                        .ok_or_else(|| err(".o needs a count".into()))?;
+                    if n > 128 {
+                        return Err(err(format!("{n} outputs exceed the 128-bit FSM limit")));
+                    }
+                    no = Some(n);
+                }
+                "p" | "s" => {} // advisory counts
+                "r" => {
+                    let s = arg.ok_or_else(|| err(".r needs a state name".into()))?;
+                    reset_name = Some(s.to_string());
+                    intern(s, &mut states, &mut index);
+                }
+                "e" | "end" => break,
+                other => return Err(err(format!("unknown directive `.{other}`"))),
+            }
+            continue;
+        }
+        let ni = ni.ok_or_else(|| err("term before .i".into()))?;
+        let no = no.ok_or_else(|| err("term before .o".into()))?;
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        // An input-less FSM (ni == 0) has an empty input column, which
+        // whitespace-splitting collapses away — its terms have 3 columns.
+        let (inp, cur, next, outp) = match (ni, cols.as_slice()) {
+            (0, [cur, next, outp]) => ("", *cur, *next, *outp),
+            (_, [inp, cur, next, outp]) => (*inp, *cur, *next, *outp),
+            _ => {
+                return Err(err(format!(
+                    "expected `input state next output`, got {} columns",
+                    cols.len()
+                )))
+            }
+        };
+        if inp.chars().count() != ni {
+            return Err(err(format!(
+                "input cube `{inp}` has {} columns, expected {ni}",
+                inp.chars().count()
+            )));
+        }
+        if outp.chars().count() != no {
+            return Err(err(format!(
+                "output pattern `{outp}` has {} columns, expected {no}",
+                outp.chars().count()
+            )));
+        }
+        let guard = parse_cube(inp, ni).map_err(&err)?;
+        let outputs = parse_outputs(outp, no).map_err(&err)?;
+        let cur = intern(cur, &mut states, &mut index);
+        let next = intern(next, &mut states, &mut index);
+        terms.push((guard, cur, next, outputs));
+    }
+    let (ni, no) = match (ni, no) {
+        (Some(i), Some(o)) => (i, o),
+        _ => return Err(CoreError::BadSpec("kiss2: missing .i/.o header".into())),
+    };
+    if states.is_empty() {
+        return Err(CoreError::BadSpec("kiss2: no states defined".into()));
+    }
+    let mut spec = FsmSpec::new(name, ni, no);
+    for s in &states {
+        spec.add_state(s.clone());
+    }
+    for (guard, cur, next, outputs) in terms {
+        spec.add_rule(StateId(cur), guard, StateId(next), outputs);
+    }
+    if let Some(r) = reset_name {
+        spec.set_reset(StateId(index[&r]));
+    }
+    Ok(spec)
+}
+
+/// Renders a guard cube MSB first (`-` = don't care).
+fn render_cube(cube: &Cube) -> String {
+    (0..cube.nvars())
+        .rev()
+        .map(|v| match cube.literal(v) {
+            Literal::Positive => '1',
+            Literal::Negative => '0',
+            Literal::DontCare => '-',
+        })
+        .collect()
+}
+
+/// Parses an MSB-first cube column string.
+fn parse_cube(inp: &str, ni: usize) -> Result<Cube, String> {
+    let mut value = 0u64;
+    let mut care = 0u64;
+    for (pos, ch) in inp.chars().enumerate() {
+        let bit = ni - 1 - pos;
+        match ch {
+            '1' => {
+                value |= 1 << bit;
+                care |= 1 << bit;
+            }
+            '0' => care |= 1 << bit,
+            '-' => {}
+            other => return Err(format!("bad input character `{other}`")),
+        }
+    }
+    Ok(Cube::new(ni, value, care))
+}
+
+/// Renders an output word MSB first.
+fn render_outputs(outputs: u128, no: usize) -> String {
+    (0..no)
+        .rev()
+        .map(|b| if outputs >> b & 1 != 0 { '1' } else { '0' })
+        .collect()
+}
+
+/// Parses an MSB-first output pattern (`-` reads as 0).
+fn parse_outputs(outp: &str, no: usize) -> Result<u128, String> {
+    let mut v = 0u128;
+    for (pos, ch) in outp.chars().enumerate() {
+        let bit = no - 1 - pos;
+        match ch {
+            '1' => v |= 1 << bit,
+            '0' | '-' => {}
+            other => return Err(format!("bad output character `{other}`")),
+        }
+    }
+    Ok(v)
+}
+
 /// Bits to encode `lanes + 1` values (0 = idle).
 fn packed_bits(lanes: usize) -> usize {
     let mut b = 1;
@@ -175,5 +442,133 @@ mod tests {
         p.emit(&[("u", 5)], NextCtl::Halt);
         let e = horizontalize(&p, &|_| Some(4)).unwrap_err();
         assert!(e.to_string().contains("exceeds"));
+    }
+
+    /// Behavioral equality of two FSM specs over every (state, minterm).
+    /// States are matched by name — KISS2 carries no state ordering, so the
+    /// reader may assign different ids than the writer saw.
+    fn specs_behave_identically(a: &FsmSpec, b: &FsmSpec) {
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert_eq!(a.num_outputs(), b.num_outputs());
+        assert_eq!(
+            a.state_name(a.reset_state()),
+            b.state_name(b.reset_state()),
+            "reset state"
+        );
+        let b_by_name: std::collections::HashMap<&str, StateId> = (0..b.state_count())
+            .map(|i| (b.state_name(StateId(i)), StateId(i)))
+            .collect();
+        for si in 0..a.state_count() {
+            let s = StateId(si);
+            let bs = b_by_name[a.state_name(s)];
+            for m in 0..1u64 << a.num_inputs() {
+                let (an, ao) = a.eval(s, m);
+                let (bn, bo) = b.eval(bs, m);
+                assert_eq!(a.state_name(an), b.state_name(bn), "state {si} minterm {m}");
+                assert_eq!(ao, bo, "state {si} minterm {m} outputs");
+            }
+        }
+    }
+
+    #[test]
+    fn kiss2_round_trips_behaviour() {
+        let spec = crate::random::random_fsm(3, 5, 6, 99);
+        let text = to_kiss2(&spec);
+        assert!(text.contains(".i 3"));
+        assert!(text.contains(".o 5"));
+        assert!(text.contains(".s 6"));
+        let back = from_kiss2(spec.name(), &text).unwrap();
+        specs_behave_identically(&spec, &back);
+        // And a second trip is textually stable.
+        let once = to_kiss2(&back);
+        let twice = to_kiss2(&from_kiss2(back.name(), &once).unwrap());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn kiss2_parses_hand_written_file() {
+        let text = "\
+# toggler
+.i 1
+.o 1
+.s 2
+.r off
+1 off on 1
+- off off 0
+1 on off 0
+- on on 1
+.e
+";
+        let f = from_kiss2("toggler", text).unwrap();
+        assert_eq!(f.state_count(), 2);
+        assert_eq!(f.state_name(f.reset_state()), "off");
+        let off = f.reset_state();
+        let (on, out) = f.eval(off, 1);
+        assert_eq!(f.state_name(on), "on");
+        assert_eq!(out, 1);
+        assert_eq!(f.eval(off, 0).0, off, "catch-all holds state");
+        assert_eq!(f.eval(on, 0).1, 1);
+    }
+
+    #[test]
+    fn kiss2_priority_is_term_order() {
+        // Overlapping terms: the first match must win, as in FsmSpec rules.
+        let text = ".i 2\n.o 1\n.r a\n1- a b 1\n-1 a a 0\n-- a a 0\n-- b b 0\n";
+        let f = from_kiss2("p", text).unwrap();
+        let a = f.reset_state();
+        assert_eq!(f.state_name(f.eval(a, 0b10).0), "b");
+        assert_eq!(f.eval(a, 0b10).1, 1);
+        assert_eq!(f.state_name(f.eval(a, 0b01).0), "a");
+    }
+
+    #[test]
+    fn kiss2_errors_carry_line_numbers() {
+        let e = from_kiss2("t", ".i 1\n.o 1\n1 a b\n").unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+        let e = from_kiss2("t", "1 a b 1\n").unwrap_err();
+        assert!(e.to_string().contains("term before .i"), "{e}");
+        let e = from_kiss2("t", ".i 1\n.o 1\n.zap\n").unwrap_err();
+        assert!(e.to_string().contains(".zap"), "{e}");
+        let e = from_kiss2("t", ".i 1\n.o 1\nx a b 1\n").unwrap_err();
+        assert!(e.to_string().contains("bad input character"), "{e}");
+        let e = from_kiss2("t", ".i 22\n").unwrap_err();
+        assert!(e.to_string().contains("16-bit"), "{e}");
+    }
+
+    #[test]
+    fn kiss2_round_trips_input_less_fsm() {
+        // A 0-input sequencer (pure counter) has empty input columns; the
+        // writer and reader must still agree.
+        let mut f = FsmSpec::new("counter", 0, 2);
+        let a = f.add_state("a");
+        let b = f.add_state("b");
+        f.set_default(a, b, 0b01);
+        f.set_default(b, a, 0b10);
+        f.set_reset(a);
+        let text = to_kiss2(&f);
+        let back = from_kiss2("counter", &text).unwrap();
+        specs_behave_identically(&f, &back);
+    }
+
+    #[test]
+    fn kiss2_output_dash_reads_as_zero() {
+        let f = from_kiss2("t", ".i 1\n.o 3\n.r s\n- s s 1-1\n").unwrap();
+        assert_eq!(f.eval(f.reset_state(), 0).1, 0b101);
+    }
+
+    #[test]
+    fn kiss2_lowers_through_the_flow() {
+        let spec = from_kiss2(
+            "tl",
+            ".i 1\n.o 3\n.r g\n1 g y 001\n- g g 001\n1 y r 010\n- y y 010\n1 r g 100\n- r r 100\n",
+        )
+        .unwrap();
+        let t = synthir_rtl::elaborate(&spec.to_table_module(false)).unwrap();
+        let c = synthir_rtl::elaborate(&spec.to_case_module()).unwrap();
+        let res =
+            synthir_sim::check_seq_equiv(&t.netlist, &c.netlist, &synthir_sim::EquivOptions::new())
+                .unwrap();
+        assert!(res.is_equivalent(), "{res:?}");
     }
 }

@@ -182,6 +182,18 @@ impl FsmSpec {
         self.states.len()
     }
 
+    /// A state's prioritized rules, in match order.
+    pub fn rules(&self, s: StateId) -> &[Rule] {
+        &self.states[s.0].rules
+    }
+
+    /// A state's default transition `(next, outputs)` — what fires when no
+    /// rule matches.
+    pub fn default_of(&self, s: StateId) -> (StateId, u128) {
+        let st = &self.states[s.0];
+        (st.default_next, st.default_outputs)
+    }
+
     /// A state's name.
     pub fn state_name(&self, s: StateId) -> &str {
         &self.states[s.0].name

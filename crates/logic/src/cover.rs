@@ -165,7 +165,7 @@ impl Cover {
 
     /// Whether the cover is a tautology (covers every minterm).
     ///
-    /// Runs the unate recursive paradigm of [`crate::urp`]: unate-variable
+    /// Runs the unate recursive paradigm of the private `urp` module: unate-variable
     /// reduction, exact bitmap leaves for supports of up to six variables,
     /// disjoint-support component decomposition, a minterm-count bound, and
     /// binate Shannon branching on pooled scratch buffers.
@@ -185,7 +185,7 @@ impl Cover {
 
     /// The complement of the cover.
     ///
-    /// Computed by the memoized unate recursive paradigm of [`crate::urp`]:
+    /// Computed by the private `urp` module's memoized unate recursive paradigm:
     /// single-cube De Morgan leaves, merge-without-tagging on unate split
     /// variables, identical-cube branch merging, and a cofactor memo keyed
     /// on the sorted cube signature. The result is single-cube minimal (no

@@ -102,6 +102,13 @@ pub enum LogicError {
         /// The valid exclusive bound.
         bound: usize,
     },
+    /// A textual format (e.g. PLA) failed to parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for LogicError {
@@ -115,6 +122,9 @@ impl std::fmt::Display for LogicError {
             }
             LogicError::IndexOutOfRange { index, bound } => {
                 write!(f, "index {index} out of range (bound {bound})")
+            }
+            LogicError::Parse { line, message } => {
+                write!(f, "line {line}: {message}")
             }
         }
     }

@@ -4,7 +4,7 @@
 //! checking, single-cube containment, and the espresso loop, kept verbatim
 //! so that:
 //!
-//! * the oracle property tests can check the optimized [`crate::urp`] kernel
+//! * the oracle property tests can check the optimized `urp` kernel
 //!   against an independent implementation (in addition to the brute-force
 //!   truth-table oracle), and
 //! * the `bench_espresso` benchmark can measure the speedup of the

@@ -1,122 +1,453 @@
-//! Berkeley PLA format import/export.
+//! Berkeley/espresso PLA format import/export.
 //!
 //! The lingua franca of two-level minimizers (and of the espresso tool this
-//! crate's minimizer reimplements): `.i`/`.o` headers and one
-//! `<input-cube> <output-pattern>` line per product term. Only the
-//! single-output subset plus multi-output ON-set semantics (`1` = in ON-set,
-//! `~`/`0` = not covered) are supported.
+//! crate's minimizer reimplements): `.i`/`.o` headers, optional `.ilb`/`.ob`
+//! signal labels, a `.type` declaration selecting the output-plane
+//! semantics, and one `<input-cube> <output-pattern>` line per product term.
+//!
+//! [`Pla`] is the full document model — it round-trips every supported
+//! directive and can hand its ON/DC planes straight to
+//! [`crate::espresso::minimize_batch`] via [`Pla::minimized`]. The
+//! free-standing [`to_pla`]/[`from_pla`] functions remain as the quick
+//! cover-level interface (ON-set only, `f`-type semantics).
 
+use crate::espresso::{minimize_batch, EspressoOptions};
 use crate::{Cover, Cube, LogicError};
 
-/// Serializes multi-output covers (all over the same inputs) to PLA text.
+/// Output-plane semantics, as declared by the `.type` directive.
+///
+/// The letters follow espresso's manual: `f` = ON-set given, `d` = DC-set
+/// given, `r` = OFF-set given. Anything not covered by a given plane is
+/// implicitly in the remaining one(s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlaType {
+    /// `1` = ON; `0`/`~` = unspecified (OFF by default). The espresso
+    /// default when no `.type` line is present.
+    #[default]
+    F,
+    /// `1` = ON, `-` = DC, `0`/`~` = unspecified.
+    Fd,
+    /// `1` = ON, `0` = OFF, `~`/`-` = unspecified; the DC-set is everything
+    /// in neither plane.
+    Fr,
+    /// `1` = ON, `0` = OFF, `-` = DC, `~` = unspecified.
+    Fdr,
+}
+
+impl PlaType {
+    /// The directive spelling (`f`, `fd`, `fr`, `fdr`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlaType::F => "f",
+            PlaType::Fd => "fd",
+            PlaType::Fr => "fr",
+            PlaType::Fdr => "fdr",
+        }
+    }
+
+    /// Parses a `.type` argument.
+    pub fn parse(s: &str) -> Option<PlaType> {
+        match s {
+            "f" => Some(PlaType::F),
+            "fd" => Some(PlaType::Fd),
+            "fr" => Some(PlaType::Fr),
+            "fdr" => Some(PlaType::Fdr),
+            _ => None,
+        }
+    }
+
+    /// Whether the DC plane is explicit in the file (`d` in the type).
+    pub fn has_dc(self) -> bool {
+        matches!(self, PlaType::Fd | PlaType::Fdr)
+    }
+
+    /// Whether the OFF plane is explicit in the file (`r` in the type).
+    pub fn has_off(self) -> bool {
+        matches!(self, PlaType::Fr | PlaType::Fdr)
+    }
+}
+
+/// A parsed PLA file: header metadata plus per-output ON/DC/OFF planes.
+///
+/// All covers range over the same `num_inputs` variables; bit 0 of a cube is
+/// the *last* input column of the text (PLA files print MSB first).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pla {
+    /// Number of input variables (`.i`).
+    pub num_inputs: usize,
+    /// Number of outputs (`.o`).
+    pub num_outputs: usize,
+    /// Input labels from `.ilb` (MSB-first file order), if present.
+    pub input_labels: Option<Vec<String>>,
+    /// Output labels from `.ob`, if present.
+    pub output_labels: Option<Vec<String>>,
+    /// Declared output-plane semantics (`.type`).
+    pub kind: PlaType,
+    /// Per-output ON-set covers.
+    pub on: Vec<Cover>,
+    /// Per-output DC-set covers (empty covers when the type has no `d`).
+    pub dc: Vec<Cover>,
+    /// Per-output OFF-set covers (empty covers when the type has no `r`).
+    pub off: Vec<Cover>,
+}
+
+impl Pla {
+    /// Creates an `f`-type PLA from per-output ON covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on` is empty or the covers range over different variable
+    /// counts.
+    pub fn from_covers(on: Vec<Cover>) -> Self {
+        assert!(!on.is_empty(), "at least one output");
+        let nvars = on[0].nvars();
+        for c in &on {
+            assert_eq!(c.nvars(), nvars, "cover arity mismatch");
+        }
+        let num_outputs = on.len();
+        Pla {
+            num_inputs: nvars,
+            num_outputs,
+            input_labels: None,
+            output_labels: None,
+            kind: PlaType::F,
+            dc: vec![Cover::empty(nvars); num_outputs],
+            off: vec![Cover::empty(nvars); num_outputs],
+            on,
+        }
+    }
+
+    /// Parses PLA text.
+    ///
+    /// Supports `.i`, `.o`, `.ilb`, `.ob`, `.p`, `.type`, `.e`/`.end`,
+    /// comments (`#`), and term lines under all four [`PlaType`] output
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Parse`] with a 1-based line number for
+    /// malformed directives, arity mismatches, or characters outside the
+    /// cube/output alphabets.
+    pub fn parse(text: &str) -> Result<Pla, LogicError> {
+        let mut ni: Option<usize> = None;
+        let mut no: Option<usize> = None;
+        let mut ilb: Option<(usize, Vec<String>)> = None;
+        let mut ob: Option<(usize, Vec<String>)> = None;
+        let mut kind = PlaType::default();
+        let mut declared_terms: Option<usize> = None;
+        let mut on: Vec<Cover> = Vec::new();
+        let mut dc: Vec<Cover> = Vec::new();
+        let mut off: Vec<Cover> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| LogicError::Parse {
+                line: lineno + 1,
+                message: msg,
+            };
+            if let Some(rest) = line.strip_prefix('.') {
+                let mut parts = rest.split_whitespace();
+                let dir = parts.next().unwrap_or("");
+                let args: Vec<&str> = parts.collect();
+                match dir {
+                    "i" => {
+                        ni = Some(
+                            args.first()
+                                .and_then(|a| a.parse().ok())
+                                .ok_or_else(|| err(".i needs a count".into()))?,
+                        );
+                    }
+                    "o" => {
+                        no = Some(
+                            args.first()
+                                .and_then(|a| a.parse().ok())
+                                .ok_or_else(|| err(".o needs a count".into()))?,
+                        );
+                    }
+                    "ilb" => ilb = Some((lineno + 1, args.iter().map(|s| s.to_string()).collect())),
+                    "ob" => ob = Some((lineno + 1, args.iter().map(|s| s.to_string()).collect())),
+                    "p" => {
+                        declared_terms = Some(
+                            args.first()
+                                .and_then(|a| a.parse().ok())
+                                .ok_or_else(|| err(".p needs a count".into()))?,
+                        );
+                    }
+                    "type" => {
+                        kind = args
+                            .first()
+                            .and_then(|a| PlaType::parse(a))
+                            .ok_or_else(|| err(format!("unknown .type `{}`", args.join(" "))))?;
+                    }
+                    "e" | "end" => break,
+                    other => return Err(err(format!("unknown directive `.{other}`"))),
+                }
+                continue;
+            }
+            // Term line.
+            let ni = ni.ok_or_else(|| err("term before .i".into()))?;
+            let no = no.ok_or_else(|| err("term before .o".into()))?;
+            if ni > 64 {
+                return Err(err(format!(
+                    "{ni} inputs exceed the 64-variable cube limit"
+                )));
+            }
+            if on.is_empty() {
+                on = vec![Cover::empty(ni); no];
+                dc = vec![Cover::empty(ni); no];
+                off = vec![Cover::empty(ni); no];
+            }
+            let mut parts = line.split_whitespace();
+            let inp = parts
+                .next()
+                .ok_or_else(|| err("missing input cube".into()))?;
+            let out = parts
+                .next()
+                .ok_or_else(|| err("missing output pattern".into()))?;
+            if inp.chars().count() != ni {
+                return Err(err(format!(
+                    "input cube `{inp}` has {} columns, expected {ni}",
+                    inp.chars().count()
+                )));
+            }
+            if out.chars().count() != no {
+                return Err(err(format!(
+                    "output pattern `{out}` has {} columns, expected {no}",
+                    out.chars().count()
+                )));
+            }
+            let cube = parse_input_cube(inp, ni).map_err(&err)?;
+            for (oi, ch) in out.chars().enumerate() {
+                // espresso output-plane alphabet: 1/4 = ON, 0 = OFF (under
+                // r-types), -/2 = DC (under d-types), ~ = no membership.
+                match (ch, kind) {
+                    ('1' | '4', _) => on[oi].push(cube),
+                    ('0', PlaType::Fr | PlaType::Fdr) => off[oi].push(cube),
+                    ('0', _) => {}
+                    ('-' | '2', PlaType::Fd | PlaType::Fdr) => dc[oi].push(cube),
+                    ('-' | '2', PlaType::Fr) => {}
+                    ('-' | '2', PlaType::F) => {}
+                    ('~', _) => {}
+                    (other, _) => return Err(err(format!("bad output character `{other}`"))),
+                }
+            }
+        }
+        let (num_inputs, num_outputs) = match (ni, no) {
+            (Some(i), Some(o)) => (i, o),
+            _ => {
+                return Err(LogicError::Parse {
+                    line: text.lines().count().max(1),
+                    message: "missing .i/.o header".into(),
+                })
+            }
+        };
+        if let Some((line, labels)) = &ilb {
+            if labels.len() != num_inputs {
+                return Err(LogicError::Parse {
+                    line: *line,
+                    message: format!(".ilb lists {} names for {num_inputs} inputs", labels.len()),
+                });
+            }
+        }
+        if let Some((line, labels)) = &ob {
+            if labels.len() != num_outputs {
+                return Err(LogicError::Parse {
+                    line: *line,
+                    message: format!(".ob lists {} names for {num_outputs} outputs", labels.len()),
+                });
+            }
+        }
+        if on.is_empty() {
+            on = vec![Cover::empty(num_inputs); num_outputs];
+            dc = vec![Cover::empty(num_inputs); num_outputs];
+            off = vec![Cover::empty(num_inputs); num_outputs];
+        }
+        let _ = declared_terms; // advisory; real tools don't trust it either
+        Ok(Pla {
+            num_inputs,
+            num_outputs,
+            input_labels: ilb.map(|(_, l)| l),
+            output_labels: ob.map(|(_, l)| l),
+            kind,
+            on,
+            dc,
+            off,
+        })
+    }
+
+    /// Renders the PLA back to text, emitting `.ilb`/`.ob` when labels are
+    /// present and `.type` when the semantics are not plain `f`.
+    ///
+    /// Product terms shared between outputs (same input cube, same plane)
+    /// are merged into a single line, as espresso's writer does.
+    pub fn render(&self) -> String {
+        let mut s = format!(".i {}\n.o {}\n", self.num_inputs, self.num_outputs);
+        if let Some(labels) = &self.input_labels {
+            s.push_str(&format!(".ilb {}\n", labels.join(" ")));
+        }
+        if let Some(labels) = &self.output_labels {
+            s.push_str(&format!(".ob {}\n", labels.join(" ")));
+        }
+        if self.kind != PlaType::F {
+            s.push_str(&format!(".type {}\n", self.kind.as_str()));
+        }
+        let terms = self.merged_terms();
+        s.push_str(&format!(".p {}\n", terms.len()));
+        for (cube, outs) in terms {
+            let outstr: String = outs.into_iter().collect();
+            s.push_str(&format!("{} {outstr}\n", render_input_cube(&cube)));
+        }
+        s.push_str(".e\n");
+        s
+    }
+
+    /// The effective DC cover for one output under this PLA's type.
+    ///
+    /// For `d`-types it is the explicit plane; for `fr` it is the complement
+    /// of `ON ∪ OFF`; for plain `f` (and the unspecified remainder of `fdr`)
+    /// it is empty.
+    pub fn effective_dc(&self, output: usize) -> Cover {
+        match self.kind {
+            PlaType::F => Cover::empty(self.num_inputs),
+            PlaType::Fd | PlaType::Fdr => self.dc[output].clone(),
+            PlaType::Fr => self.on[output].union(&self.off[output]).complement(),
+        }
+    }
+
+    /// Minimizes every output with the URP espresso kernel (honouring the
+    /// type's DC semantics) and returns the result as an `f`-type PLA with
+    /// the same labels.
+    pub fn minimized(&self, opts: &EspressoOptions) -> Pla {
+        // Per-output DC sets differ, so run the batch driver on
+        // (ON, DC-adjusted) pairs by folding the DC into each job: the
+        // batch API takes one shared DC, so dispatch per-output batches
+        // when DCs are non-uniform.
+        let dcs: Vec<Cover> = (0..self.num_outputs)
+            .map(|oi| self.effective_dc(oi))
+            .collect();
+        let uniform_dc = dcs.windows(2).all(|w| w[0] == w[1]);
+        let minimized: Vec<Cover> = if uniform_dc {
+            minimize_batch(&self.on, dcs.first().filter(|d| !d.is_empty()), opts)
+        } else {
+            crate::par::par_map(&(0..self.num_outputs).collect::<Vec<_>>(), |&oi| {
+                crate::espresso::minimize(
+                    &self.on[oi],
+                    Some(&dcs[oi]).filter(|d| !d.is_empty()),
+                    opts,
+                )
+            })
+        };
+        Pla {
+            num_inputs: self.num_inputs,
+            num_outputs: self.num_outputs,
+            input_labels: self.input_labels.clone(),
+            output_labels: self.output_labels.clone(),
+            kind: PlaType::F,
+            dc: vec![Cover::empty(self.num_inputs); self.num_outputs],
+            off: vec![Cover::empty(self.num_inputs); self.num_outputs],
+            on: minimized,
+        }
+    }
+
+    /// Total product-term count after plane merging — exactly the `.p`
+    /// value [`Pla::render`] emits.
+    pub fn term_count(&self) -> usize {
+        self.merged_terms().len()
+    }
+
+    /// The merged term lines a rendering would produce: for each input
+    /// cube, one output pattern per *compatible* membership combination.
+    /// '~' is "unspecified" under every type, so it is the safe filler
+    /// (f/fd treat it as OFF-by-default, fr/fdr as DC-by-default, which is
+    /// exactly what "not in any listed plane" means). A cube sitting in two
+    /// planes of the same output (e.g. both ON and DC) keeps two lines.
+    fn merged_terms(&self) -> Vec<(Cube, Vec<char>)> {
+        let mut terms: Vec<(Cube, Vec<char>)> = Vec::new();
+        let set = |cube: Cube, oi: usize, ch: char, terms: &mut Vec<(Cube, Vec<char>)>| {
+            let slot = match terms
+                .iter_mut()
+                .find(|(k, outs)| *k == cube && (outs[oi] == '~' || outs[oi] == ch))
+            {
+                Some((_, outs)) => outs,
+                None => {
+                    terms.push((cube, vec!['~'; self.num_outputs]));
+                    &mut terms.last_mut().expect("just pushed").1
+                }
+            };
+            slot[oi] = ch;
+        };
+        for oi in 0..self.num_outputs {
+            for &cube in self.on[oi].cubes() {
+                set(cube, oi, '1', &mut terms);
+            }
+            if self.kind.has_dc() {
+                for &cube in self.dc[oi].cubes() {
+                    set(cube, oi, '-', &mut terms);
+                }
+            }
+            if self.kind.has_off() {
+                for &cube in self.off[oi].cubes() {
+                    set(cube, oi, '0', &mut terms);
+                }
+            }
+        }
+        terms
+    }
+}
+
+/// Parses an MSB-first input-cube column string into a [`Cube`].
+fn parse_input_cube(inp: &str, ni: usize) -> Result<Cube, String> {
+    let mut value = 0u64;
+    let mut care = 0u64;
+    for (pos, ch) in inp.chars().enumerate() {
+        let bit = ni - 1 - pos;
+        match ch {
+            '1' => {
+                value |= 1 << bit;
+                care |= 1 << bit;
+            }
+            '0' => care |= 1 << bit,
+            '-' | '~' | '2' => {}
+            other => return Err(format!("bad input character `{other}`")),
+        }
+    }
+    Ok(Cube::new(ni, value, care))
+}
+
+/// Renders a [`Cube`] as an MSB-first column string.
+fn render_input_cube(cube: &Cube) -> String {
+    use crate::cube::Literal;
+    (0..cube.nvars())
+        .rev()
+        .map(|v| match cube.literal(v) {
+            Literal::Positive => '1',
+            Literal::Negative => '0',
+            Literal::DontCare => '-',
+        })
+        .collect()
+}
+
+/// Serializes multi-output ON-set covers (all over the same inputs) to
+/// `f`-type PLA text.
 ///
 /// # Panics
 ///
-/// Panics if the covers range over different variable counts.
+/// Panics if `covers` is empty or the covers range over different variable
+/// counts.
 pub fn to_pla(covers: &[Cover]) -> String {
-    assert!(!covers.is_empty(), "at least one output");
-    let nvars = covers[0].nvars();
-    for c in covers {
-        assert_eq!(c.nvars(), nvars, "cover arity mismatch");
-    }
-    let mut s = format!(".i {nvars}\n.o {}\n", covers.len());
-    let mut terms: Vec<(Cube, Vec<bool>)> = Vec::new();
-    for (oi, c) in covers.iter().enumerate() {
-        for &cube in c.cubes() {
-            match terms.iter_mut().find(|(k, _)| *k == cube) {
-                Some((_, outs)) => outs[oi] = true,
-                None => {
-                    let mut outs = vec![false; covers.len()];
-                    outs[oi] = true;
-                    terms.push((cube, outs));
-                }
-            }
-        }
-    }
-    s.push_str(&format!(".p {}\n", terms.len()));
-    for (cube, outs) in terms {
-        let outstr: String = outs.iter().map(|&b| if b { '1' } else { '~' }).collect();
-        s.push_str(&format!("{cube} {outstr}\n"));
-    }
-    s.push_str(".e\n");
-    s
+    Pla::from_covers(covers.to_vec()).render()
 }
 
-/// Parses PLA text into per-output covers.
+/// Parses PLA text into per-output ON-set covers (DC/OFF planes of typed
+/// files are dropped; use [`Pla::parse`] to keep them).
 ///
 /// # Errors
 ///
-/// Returns [`LogicError::IndexOutOfRange`] for malformed lines (the index
-/// reported is the 1-based line number).
+/// Returns [`LogicError::Parse`] with the offending 1-based line number.
 pub fn from_pla(text: &str) -> Result<Vec<Cover>, LogicError> {
-    let mut ni: Option<usize> = None;
-    let mut no: Option<usize> = None;
-    let mut covers: Vec<Cover> = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let bad = || LogicError::IndexOutOfRange {
-            index: lineno + 1,
-            bound: usize::MAX,
-        };
-        if let Some(rest) = line.strip_prefix(".i ") {
-            ni = Some(rest.trim().parse().map_err(|_| bad())?);
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix(".o ") {
-            let n: usize = rest.trim().parse().map_err(|_| bad())?;
-            no = Some(n);
-            continue;
-        }
-        if line.starts_with(".p")
-            || line.starts_with(".e")
-            || line.starts_with(".ilb")
-            || line.starts_with(".ob")
-        {
-            continue;
-        }
-        let (ni, no) = (ni.ok_or_else(bad)?, no.ok_or_else(bad)?);
-        if covers.is_empty() {
-            covers = vec![Cover::empty(ni); no];
-        }
-        let mut parts = line.split_whitespace();
-        let inp = parts.next().ok_or_else(bad)?;
-        let out = parts.next().ok_or_else(bad)?;
-        if inp.len() != ni || out.len() != no {
-            return Err(bad());
-        }
-        let mut value = 0u64;
-        let mut care = 0u64;
-        // PLA prints MSB first; our bit 0 is the least significant.
-        for (pos, ch) in inp.chars().enumerate() {
-            let bit = ni - 1 - pos;
-            match ch {
-                '1' => {
-                    value |= 1 << bit;
-                    care |= 1 << bit;
-                }
-                '0' => care |= 1 << bit,
-                '-' | '~' => {}
-                _ => return Err(bad()),
-            }
-        }
-        let cube = Cube::new(ni, value, care);
-        for (oi, ch) in out.chars().enumerate() {
-            match ch {
-                '1' | '4' => covers[oi].push(cube),
-                '0' | '~' | '-' | '2' => {}
-                _ => return Err(bad()),
-            }
-        }
-    }
-    if covers.is_empty() {
-        if let (Some(ni), Some(no)) = (ni, no) {
-            covers = vec![Cover::empty(ni); no];
-        }
-    }
-    Ok(covers)
+    Ok(Pla::parse(text)?.on)
 }
 
 #[cfg(test)]
@@ -163,9 +494,13 @@ mod tests {
     #[test]
     fn malformed_lines_error_with_line_number() {
         let e = from_pla(".i 2\n.o 1\n1 1\n").unwrap_err();
-        assert!(matches!(e, LogicError::IndexOutOfRange { index: 3, .. }));
+        assert!(matches!(e, LogicError::Parse { line: 3, .. }), "{e:?}");
         let e = from_pla("01 1\n").unwrap_err();
-        assert!(matches!(e, LogicError::IndexOutOfRange { index: 1, .. }));
+        assert!(matches!(e, LogicError::Parse { line: 1, .. }), "{e:?}");
+        let e = from_pla(".i 2\n.o 1\n.type zz\n").unwrap_err();
+        assert!(e.to_string().contains("zz"), "{e}");
+        let e = from_pla(".i 2\n.o 1\n.q 4\n").unwrap_err();
+        assert!(e.to_string().contains(".q"), "{e}");
     }
 
     #[test]
@@ -175,5 +510,144 @@ mod tests {
         let text = to_pla(&[a, b]);
         assert!(text.contains(".p 1"), "{text}");
         assert!(text.contains("11 11"));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let text = ".i 2\n.o 2\n.ilb req grant\n.ob busy done\n.p 1\n11 1~\n.e\n";
+        let pla = Pla::parse(text).unwrap();
+        assert_eq!(
+            pla.input_labels.as_deref(),
+            Some(&["req".to_string(), "grant".to_string()][..])
+        );
+        assert_eq!(
+            pla.output_labels.as_deref(),
+            Some(&["busy".to_string(), "done".to_string()][..])
+        );
+        let again = Pla::parse(&pla.render()).unwrap();
+        assert_eq!(again, pla);
+    }
+
+    #[test]
+    fn label_arity_checked() {
+        let e = Pla::parse(".i 2\n.o 1\n.ilb a\n.e\n").unwrap_err();
+        assert!(e.to_string().contains(".ilb"), "{e}");
+        assert!(
+            matches!(e, LogicError::Parse { line: 3, .. }),
+            "error should name the directive's line: {e:?}"
+        );
+        let e = Pla::parse(".i 1\n.o 2\n# pad\n\n.ob x\n.e\n").unwrap_err();
+        assert!(e.to_string().contains(".ob"), "{e}");
+        assert!(matches!(e, LogicError::Parse { line: 5, .. }), "{e:?}");
+    }
+
+    #[test]
+    fn term_count_with_cube_in_two_planes_matches_render() {
+        // Cube 11 is both ON and DC of the same output: the renderer must
+        // keep two lines (no output char can mean both), and term_count
+        // must agree with the emitted `.p`.
+        let pla = Pla::parse(".i 2\n.o 1\n.type fd\n11 1\n11 -\n.e\n").unwrap();
+        assert_eq!(pla.term_count(), 2);
+        let rendered = pla.render();
+        assert!(rendered.contains(".p 2"), "{rendered}");
+        assert_eq!(Pla::parse(&rendered).unwrap(), pla);
+    }
+
+    #[test]
+    fn fd_type_populates_dc_plane() {
+        let text = ".i 2\n.o 1\n.type fd\n11 1\n10 -\n00 0\n.e\n";
+        let pla = Pla::parse(text).unwrap();
+        assert_eq!(pla.kind, PlaType::Fd);
+        assert!(pla.on[0].eval(0b11));
+        assert!(pla.dc[0].eval(0b10));
+        assert!(!pla.dc[0].eval(0b11));
+        assert_eq!(pla.effective_dc(0), pla.dc[0]);
+    }
+
+    #[test]
+    fn fr_type_derives_dc_from_missing_minterms() {
+        // ON = {11}, OFF = {00}; 01 and 10 are unspecified → DC.
+        let text = ".i 2\n.o 1\n.type fr\n11 1\n00 0\n.e\n";
+        let pla = Pla::parse(text).unwrap();
+        assert_eq!(pla.kind, PlaType::Fr);
+        assert!(pla.off[0].eval(0b00));
+        let dc = pla.effective_dc(0);
+        assert!(dc.eval(0b01));
+        assert!(dc.eval(0b10));
+        assert!(!dc.eval(0b11));
+        assert!(!dc.eval(0b00));
+    }
+
+    #[test]
+    fn fr_round_trips_through_render() {
+        let text = ".i 3\n.o 2\n.type fr\n1-1 10\n010 01\n000 00\n.e\n";
+        let pla = Pla::parse(text).unwrap();
+        let again = Pla::parse(&pla.render()).unwrap();
+        assert_eq!(again, pla);
+    }
+
+    #[test]
+    fn minimize_uses_dont_cares() {
+        // f(a,b): ON = {11}, everything else DC → minimizes to tautology.
+        let pla = Pla::parse(".i 2\n.o 1\n.type fd\n11 1\n00 -\n01 -\n10 -\n.e\n").unwrap();
+        let min = pla.minimized(&EspressoOptions::default());
+        assert_eq!(min.kind, PlaType::F);
+        assert_eq!(min.on[0].cube_count(), 1);
+        assert_eq!(min.on[0].cubes()[0].literal_count(), 0, "tautology cube");
+    }
+
+    #[test]
+    fn minimize_fr_per_output_dc() {
+        // Output 0: ON {111}, OFF {000} (rest DC) → collapses to one cube.
+        // Output 1: fully specified parity — stays at 4 minterm cubes.
+        let mut text = String::from(".i 3\n.o 2\n.type fr\n");
+        for m in 0..8u64 {
+            let on0 = m == 7;
+            let off0 = m == 0;
+            let p = (m.count_ones() & 1) == 1;
+            let c0 = if on0 {
+                '1'
+            } else if off0 {
+                '0'
+            } else {
+                '~'
+            };
+            let c1 = if p { '1' } else { '0' };
+            text.push_str(&format!("{:03b} {c0}{c1}\n", m));
+        }
+        text.push_str(".e\n");
+        let pla = Pla::parse(&text).unwrap();
+        let min = pla.minimized(&EspressoOptions::default());
+        assert_eq!(min.on[0].cube_count(), 1, "{:?}", min.on[0]);
+        assert_eq!(min.on[1].cube_count(), 4);
+        // The minimized ON-set must cover the original ON-set and avoid the
+        // original OFF-set.
+        for m in 0..8u64 {
+            if pla.on[0].eval(m) {
+                assert!(min.on[0].eval(m), "minterm {m} lost");
+            }
+            if pla.off[0].eval(m) {
+                assert!(!min.on[0].eval(m), "minterm {m} violates OFF-set");
+            }
+        }
+    }
+
+    #[test]
+    fn term_count_matches_render() {
+        let pla = Pla::parse(".i 2\n.o 2\n.type fd\n11 1-\n00 -1\n01 11\n.e\n").unwrap();
+        let rendered = pla.render();
+        assert!(
+            rendered.contains(&format!(".p {}", pla.term_count())),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn empty_pla_is_valid() {
+        let pla = Pla::parse(".i 3\n.o 2\n.e\n").unwrap();
+        assert_eq!(pla.on.len(), 2);
+        assert!(pla.on.iter().all(Cover::is_empty));
+        let again = Pla::parse(&pla.render()).unwrap();
+        assert_eq!(again, pla);
     }
 }

@@ -166,4 +166,93 @@ proptest! {
             _ => prop_assert!(false, "widen of explicit set must stay explicit or go All"),
         }
     }
+
+    /// PLA → Cover → PLA identity: serializing random multi-output covers
+    /// and parsing them back is lossless, structurally and semantically.
+    #[test]
+    fn pla_round_trip_identity(n in 1usize..8, outs in 1usize..5, seed in any::<u64>()) {
+        use synthir_logic::pla::{from_pla, to_pla, Pla};
+        let covers: Vec<Cover> = (0..outs)
+            .map(|i| {
+                let tt = tt_from_seed(n, seed.wrapping_add(i as u64 * 0x9E37));
+                minimize(&Cover::from_truth_table(&tt), None, &EspressoOptions::default())
+            })
+            .collect();
+        let text = to_pla(&covers);
+        let back = from_pla(&text).unwrap();
+        // Identity up to cube order: terms shared between outputs merge
+        // into one line, which can reorder a cover's cube list.
+        prop_assert_eq!(back.len(), covers.len());
+        for (b, c) in back.iter().zip(&covers) {
+            let mut bc: Vec<_> = b.cubes().to_vec();
+            let mut cc: Vec<_> = c.cubes().to_vec();
+            let key = |x: &Cube| (x.value_mask(), x.care_mask());
+            bc.sort_by_key(key);
+            cc.sort_by_key(key);
+            prop_assert_eq!(bc, cc, "cube-set identity");
+            prop_assert_eq!(b.to_truth_table(n), c.to_truth_table(n));
+        }
+        // And the full document model agrees with itself after a re-render.
+        let doc = Pla::parse(&text).unwrap();
+        prop_assert_eq!(Pla::parse(&doc.render()).unwrap(), doc);
+    }
+
+    /// Typed PLA round trip: a random ON/OFF/DC partition survives
+    /// render → parse under fd, fr, and fdr semantics.
+    #[test]
+    fn typed_pla_round_trip(n in 1usize..6, seed in any::<u64>(), which in 0usize..3) {
+        use synthir_logic::pla::{Pla, PlaType};
+        let kind = [PlaType::Fd, PlaType::Fr, PlaType::Fdr][which];
+        // Partition the minterms of one output three ways from the seed.
+        let mut on = Cover::empty(n);
+        let mut dc = Cover::empty(n);
+        let mut off = Cover::empty(n);
+        for m in 0..1u64 << n {
+            let h = (m + 1).wrapping_mul(seed | 1).rotate_left(11) % 3;
+            match h {
+                0 => on.push(Cube::minterm(n, m)),
+                1 if kind.has_dc() => dc.push(Cube::minterm(n, m)),
+                2 if kind.has_off() => off.push(Cube::minterm(n, m)),
+                _ => {}
+            }
+        }
+        let pla = Pla {
+            num_inputs: n,
+            num_outputs: 1,
+            input_labels: None,
+            output_labels: None,
+            kind,
+            on: vec![on],
+            dc: vec![dc],
+            off: vec![off],
+        };
+        let back = Pla::parse(&pla.render()).unwrap();
+        prop_assert_eq!(back, pla);
+    }
+
+    /// Minimizing a typed PLA preserves the specified behaviour: the result
+    /// covers the ON-set and stays off the OFF-set / implicit OFF-set.
+    #[test]
+    fn pla_minimization_respects_planes(n in 1usize..6, seed in any::<u64>()) {
+        use synthir_logic::pla::{Pla, PlaType};
+        let mut text = format!(".i {n}\n.o 1\n.type fr\n");
+        for m in 0..1u64 << n {
+            let h = (m + 1).wrapping_mul(seed | 1).rotate_left(9) % 3;
+            let ch = match h { 0 => '1', 1 => '0', _ => '~' };
+            let cols: String = (0..n).rev().map(|b| if m >> b & 1 != 0 { '1' } else { '0' }).collect();
+            text.push_str(&format!("{cols} {ch}\n"));
+        }
+        let pla = Pla::parse(&text).unwrap();
+        prop_assert_eq!(pla.kind, PlaType::Fr);
+        let min = pla.minimized(&EspressoOptions::default());
+        for m in 0..1u64 << n {
+            if pla.on[0].eval(m) {
+                prop_assert!(min.on[0].eval(m), "minterm {} lost", m);
+            }
+            if pla.off[0].eval(m) {
+                prop_assert!(!min.on[0].eval(m), "minterm {} violates OFF-set", m);
+            }
+        }
+        prop_assert!(min.on[0].cube_count() <= pla.on[0].cube_count().max(1));
+    }
 }

@@ -27,17 +27,24 @@ use std::fmt::Write;
 pub fn to_verilog(nl: &Netlist) -> String {
     let mut s = String::new();
     let has_flops = nl.flop_count() > 0;
+    // Elaborated designs carry their reset as an explicit 1-bit `rst`
+    // input port; only a hand-built netlist with flops needs one invented.
+    let has_rst_port = nl.inputs().iter().any(|p| p.name == "rst");
     let mut ports: Vec<String> = Vec::new();
     if has_flops {
         ports.push("clk".into());
-        ports.push("rst".into());
+        if !has_rst_port {
+            ports.push("rst".into());
+        }
     }
-    ports.extend(nl.inputs().iter().map(|p| p.name.clone()));
-    ports.extend(nl.outputs().iter().map(|p| p.name.clone()));
+    ports.extend(nl.inputs().iter().map(|p| sanitize(&p.name)));
+    ports.extend(nl.outputs().iter().map(|p| sanitize(&p.name)));
     let _ = writeln!(s, "module {} ({});", sanitize(nl.name()), ports.join(", "));
     if has_flops {
         let _ = writeln!(s, "  input clk;");
-        let _ = writeln!(s, "  input rst;");
+        if !has_rst_port {
+            let _ = writeln!(s, "  input rst;");
+        }
     }
     for p in nl.inputs() {
         let _ = writeln!(s, "  input [{}:0] {};", p.nets.len() - 1, sanitize(&p.name));
