@@ -13,7 +13,9 @@ commands:
   pla    <in.pla>       minimize an espresso-format PLA with the URP kernel
   ucode  <prog.uasm>    assemble microcode, synthesize its sequencer
   equiv  <spec.kiss2>   equivalence-check two lowerings (program-then-
-                        compare against the programmable baseline)
+                        compare against the programmable baseline), or two
+                        .pla files combinationally; --engine picks the
+                        prover (auto/bdd/random/sat)
   help   [command]      show usage
 
 Run `synthir help <command>` for per-command options.
@@ -23,7 +25,7 @@ fn dispatch(cmd: &str, raw: &[String]) -> Result<String, CliError> {
     match cmd {
         "fsm" => fsm::run(&Args::parse(
             raw,
-            &["report", "no-synth"],
+            &["report", "no-synth", "verify-passes"],
             &["style", "o", "clock"],
         )?),
         "pla" => pla::run(&Args::parse(raw, &["stats", "echo"], &["o"])?),
@@ -41,7 +43,7 @@ fn dispatch(cmd: &str, raw: &[String]) -> Result<String, CliError> {
         "equiv" => equiv::run(&Args::parse(
             raw,
             &["synth"],
-            &["left", "right", "cycles", "seed", "vcd"],
+            &["engine", "left", "right", "cycles", "depth", "seed", "vcd"],
         )?),
         "help" | "--help" | "-h" => Ok(match raw.first().map(String::as_str) {
             Some("fsm") => fsm::USAGE.to_string(),

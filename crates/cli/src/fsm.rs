@@ -28,6 +28,8 @@ options:
   --report        print the area/timing/power report
   --clock <ns>    clock period for the slack line (default 2.0)
   --no-synth      elaborate only; skip the synthesis flow
+  --verify-passes SAT-check the netlist after every synthesis pass against
+                  its predecessor (slow; debug aid)
 ";
 
 /// The FSM coding styles the CLI can lower to.
@@ -117,7 +119,11 @@ pub fn run(args: &Args) -> CmdResult {
         }
         elab.netlist
     } else {
-        let r = compile(&elab, &lib, &SynthOptions::default())?;
+        let mut sopts = SynthOptions::default();
+        if args.flag("verify-passes") {
+            sopts.verify_each_pass = true;
+        }
+        let r = compile(&elab, &lib, &sopts)?;
         if args.flag("report") {
             out.push_str(&render(module.name(), &r, &lib, &report_opts));
         } else {
@@ -209,6 +215,19 @@ mod tests {
         let out = run(&args).unwrap();
         assert!(out.contains("area"), "{out}");
         assert!(out.contains("power"), "{out}");
+    }
+
+    #[test]
+    fn verify_passes_flag_runs_the_checked_flow() {
+        let path = write_temp("cli_fsm_verify.kiss2", TOGGLE);
+        let args = Args::parse(
+            &[path.as_str(), "--verify-passes"],
+            &["report", "no-synth", "verify-passes"],
+            &["style", "o", "clock"],
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("synthesized"), "{out}");
     }
 
     #[test]

@@ -83,27 +83,46 @@ pub fn parse_source(text: &str) -> Result<UcodeSource, CliError> {
         let dir = parts.next().unwrap_or("");
         let rest: Vec<&str> = parts.collect();
         match dir {
-            ".field" => match rest.as_slice() {
-                [name, "onehot", lanes] => {
-                    let lanes: usize = lanes
-                        .parse()
-                        .map_err(|_| err(format!("bad lane count `{lanes}`")))?;
-                    fields.push(Field::one_hot(*name, lanes));
+            ".field" => {
+                let dup = |name: &str, fields: &[Field]| fields.iter().any(|f| f.name == name);
+                match rest.as_slice() {
+                    [name, "onehot", lanes] => {
+                        let lanes: usize = lanes
+                            .parse()
+                            .ok()
+                            .filter(|&l| l > 0)
+                            .ok_or_else(|| err(format!("bad lane count `{lanes}`")))?;
+                        if dup(name, &fields) {
+                            return Err(err(format!("duplicate field `{name}`")));
+                        }
+                        fields.push(Field::one_hot(*name, lanes));
+                    }
+                    [name, width] => {
+                        let width: usize = width
+                            .parse()
+                            .ok()
+                            .filter(|&w| w > 0)
+                            .ok_or_else(|| err(format!("bad width `{width}`")))?;
+                        if dup(name, &fields) {
+                            return Err(err(format!("duplicate field `{name}`")));
+                        }
+                        fields.push(Field::binary(*name, width));
+                    }
+                    _ => {
+                        return Err(err(
+                            "expected `.field <name> <width>` or `.field <name> onehot <lanes>`"
+                                .into(),
+                        ))
+                    }
                 }
-                [name, width] => {
-                    let width: usize = width
-                        .parse()
-                        .map_err(|_| err(format!("bad width `{width}`")))?;
-                    fields.push(Field::binary(*name, width));
-                }
-                _ => {
-                    return Err(err(
-                        "expected `.field <name> <width>` or `.field <name> onehot <lanes>`".into(),
-                    ))
-                }
-            },
+            }
             ".cond" => match rest.as_slice() {
-                [name] => conds.push(name.to_string()),
+                [name] => {
+                    if conds.iter().any(|c| c == name) {
+                        return Err(err(format!("duplicate condition `{name}`")));
+                    }
+                    conds.push(name.to_string());
+                }
                 _ => return Err(err("expected `.cond <name>`".into())),
             },
             other => return Err(err(format!("unknown directive `{other}`"))),
@@ -114,8 +133,12 @@ pub fn parse_source(text: &str) -> Result<UcodeSource, CliError> {
             "no `.field` directives — a microcode format is required".into(),
         ));
     }
+    let format = MicrocodeFormat::new(fields);
+    // Catches over-wide formats (the packed control word is a u128) before
+    // table lowering would overflow a shift.
+    format.validate()?;
     Ok(UcodeSource {
-        format: MicrocodeFormat::new(fields),
+        format,
         conds,
         body: body_lines.join("\n"),
     })
@@ -304,5 +327,24 @@ copy:  set engine=0b0001, burst=7
     fn missing_format_is_an_error() {
         let e = parse_source("nop\n").unwrap_err();
         assert!(e.to_string().contains(".field"), "{e}");
+    }
+
+    /// Regression: bad `.uasm` input must produce diagnostics, never a
+    /// panic — unknown fields, duplicate directives, zero widths and
+    /// over-wide formats all come back as errors.
+    #[test]
+    fn bad_uasm_input_yields_diagnostics_not_panics() {
+        let e = assemble_source("t", ".field x 1\nset bogus=1\nhalt\n").unwrap_err();
+        assert!(e.to_string().contains("unknown field"), "{e}");
+        let e = parse_source(".field x 1\n.field x 2\nnop\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate field"), "{e}");
+        let e = parse_source(".field x 0\nnop\n").unwrap_err();
+        assert!(e.to_string().contains("bad width"), "{e}");
+        let e = parse_source(".field x onehot 0\nnop\n").unwrap_err();
+        assert!(e.to_string().contains("bad lane count"), "{e}");
+        let e = parse_source(".cond c\n.cond c\n.field x 1\nnop\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate condition"), "{e}");
+        let e = parse_source(".field a 100\n.field b 100\nnop\n").unwrap_err();
+        assert!(e.to_string().contains("128"), "{e}");
     }
 }

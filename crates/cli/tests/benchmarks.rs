@@ -112,6 +112,89 @@ fn pla_benchmarks_minimize() {
     }
 }
 
+fn equiv_args(raw: &[&str]) -> Args {
+    Args::parse(
+        raw,
+        &["synth"],
+        &["engine", "left", "right", "cycles", "depth", "seed", "vcd"],
+    )
+    .unwrap()
+}
+
+/// The wide pair: 32 shared input bits, beyond the BDD engine's 24-bit
+/// limit. The SAT engine proves equivalence, the BDD engine refuses, and
+/// the random engine cannot prove (it reports only the absence of a found
+/// difference).
+#[test]
+fn wide_pla_pair_is_proved_by_sat_only() {
+    let a = bench_path("wide_ctrl_a.pla");
+    let b = bench_path("wide_ctrl_b.pla");
+
+    let out = equiv::run(&equiv_args(&[&a, &b, "--engine", "sat"])).unwrap();
+    assert!(out.contains("EQUIVALENT (proved, engine sat)"), "{out}");
+
+    // Auto routes to SAT beyond the BDD limit and still proves.
+    let out = equiv::run(&equiv_args(&[&a, &b])).unwrap();
+    assert!(out.contains("proved"), "{out}");
+
+    let err = equiv::run(&equiv_args(&[&a, &b, "--engine", "bdd"])).unwrap_err();
+    assert!(err.to_string().contains("engine limit"), "{err}");
+
+    let out = equiv::run(&equiv_args(&[&a, &b, "--engine", "random"])).unwrap();
+    assert!(out.contains("cannot prove"), "{out}");
+}
+
+/// Injecting an inequivalence (dropping one product term) yields a concrete
+/// SAT counterexample.
+#[test]
+fn wide_pla_injected_inequivalence_yields_counterexample() {
+    let a = bench_path("wide_ctrl_a.pla");
+    let text = std::fs::read_to_string(bench_path("wide_ctrl_b.pla")).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    let last_term = lines
+        .iter()
+        .rposition(|l| !l.is_empty() && !l.starts_with('.') && !l.starts_with('#'))
+        .expect("term lines");
+    lines.remove(last_term);
+    let broken: String = lines
+        .iter()
+        .map(|l| if l.starts_with(".p") { ".p 39" } else { l })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let path = std::env::temp_dir().join("bench_wide_ctrl_b_broken.pla");
+    std::fs::write(&path, broken + "\n").unwrap();
+    let path = path.to_string_lossy().into_owned();
+
+    let err = equiv::run(&equiv_args(&[&a, &path, "--engine", "sat"])).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("INEQUIVALENT"), "{msg}");
+    assert!(msg.contains("inputs"), "{msg}");
+}
+
+/// The wide pair stays equivalent through the full synthesis flow
+/// (`--synth`), SAT-checked — partial evaluation is sound at widths the
+/// BDD engine cannot reach.
+#[test]
+fn wide_pla_pair_survives_synthesis() {
+    let a = bench_path("wide_ctrl_a.pla");
+    let b = bench_path("wide_ctrl_b.pla");
+    let out = equiv::run(&equiv_args(&[&a, &b, "--engine", "sat", "--synth"])).unwrap();
+    assert!(out.contains("proved"), "{out}");
+}
+
+/// BMC (`--engine sat`) agrees with random lockstep on the KISS2
+/// benchmarks' bound styles.
+#[test]
+fn kiss2_benchmarks_bmc_proves_bound_styles() {
+    for path in kiss2_benchmarks() {
+        let out = equiv::run(&equiv_args(&[
+            &path, "--left", "table", "--right", "case", "--engine", "sat", "--depth", "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("BMC proof"), "{path}: {out}");
+    }
+}
+
 #[test]
 fn ucode_benchmark_assembles_and_synthesizes() {
     let path = bench_path("dma_copy.uasm");

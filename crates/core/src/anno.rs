@@ -84,8 +84,8 @@ mod tests {
     fn field_values_track_program_plus_zero() {
         let fmt = MicrocodeFormat::new(vec![Field::one_hot("u", 4)]);
         let mut p = crate::microcode::MicroProgram::new("t", fmt, 0);
-        p.emit(&[("u", 0b0100)], NextCtl::Jump(1));
-        p.emit(&[("u", 0b1000)], NextCtl::Halt);
+        p.must_emit(&[("u", 0b0100)], NextCtl::Jump(1));
+        p.must_emit(&[("u", 0b1000)], NextCtl::Halt);
         let fv = field_values(&p);
         assert_eq!(fv.len(), 1);
         assert_eq!(fv[0].0, "u");

@@ -439,7 +439,7 @@ mod tests {
         use crate::microcode::{Field, MicrocodeFormat};
         let fmt = MicrocodeFormat::new(vec![Field::binary("u", 3)]);
         let mut p = MicroProgram::new("t", fmt, 0);
-        p.emit(&[("u", 5)], NextCtl::Halt);
+        p.must_emit(&[("u", 5)], NextCtl::Halt);
         let e = horizontalize(&p, &|_| Some(4)).unwrap_err();
         assert!(e.to_string().contains("exceeds"));
     }

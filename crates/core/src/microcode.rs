@@ -80,6 +80,43 @@ impl MicrocodeFormat {
         self.fields.iter().position(|f| f.name == name)
     }
 
+    /// Validates the format itself: at least one field, no duplicate or
+    /// empty names, no zero-width fields, and a total packed width that
+    /// fits the `u128` words the sequencer and table lowering use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadSpec`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.fields.is_empty() {
+            return Err(CoreError::BadSpec("format has no fields".into()));
+        }
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.name.is_empty() {
+                return Err(CoreError::BadSpec(format!("field {i} has an empty name")));
+            }
+            if f.width == 0 {
+                return Err(CoreError::BadSpec(format!(
+                    "field `{}` has zero width",
+                    f.name
+                )));
+            }
+            if self.fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(CoreError::BadSpec(format!(
+                    "duplicate field name `{}`",
+                    f.name
+                )));
+            }
+        }
+        if self.width() > 128 {
+            return Err(CoreError::BadSpec(format!(
+                "format is {} bits wide; the limit is 128",
+                self.width()
+            )));
+        }
+        Ok(())
+    }
+
     /// Packs per-field values into one word.
     ///
     /// # Panics
@@ -197,22 +234,40 @@ impl MicroProgram {
     /// Appends an instruction built from `(field, value)` pairs; unnamed
     /// fields default to zero.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on unknown field names.
-    pub fn emit(&mut self, assigns: &[(&str, u128)], next: NextCtl) -> usize {
+    /// Returns [`CoreError::BadSpec`] on unknown field names or a value
+    /// that overflows its field, so callers assembling from untrusted text
+    /// surface a diagnostic instead of crashing.
+    pub fn emit(&mut self, assigns: &[(&str, u128)], next: NextCtl) -> Result<usize, CoreError> {
         let mut values = vec![0u128; self.format.fields().len()];
         for (name, v) in assigns {
             let i = self
                 .format
                 .field_index(name)
-                .unwrap_or_else(|| panic!("unknown field `{name}`"));
+                .ok_or_else(|| CoreError::BadSpec(format!("unknown field `{name}`")))?;
+            let width = self.format.fields()[i].width;
+            if width < 128 && *v >= 1 << width {
+                return Err(CoreError::BadSpec(format!(
+                    "value {v:#x} overflows field `{name}` ({width} bits)"
+                )));
+            }
             values[i] = *v;
         }
-        self.push(MicroInstr {
+        Ok(self.push(MicroInstr {
             fields: values,
             next,
-        })
+        }))
+    }
+
+    /// [`MicroProgram::emit`] for statically-known programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown field names or overflowing values — a programming
+    /// error in the builder, not a data error.
+    pub fn must_emit(&mut self, assigns: &[(&str, u128)], next: NextCtl) -> usize {
+        self.emit(assigns, next).expect("static microprogram")
     }
 
     /// µPC width for this program.
@@ -231,6 +286,7 @@ impl MicroProgram {
     /// Returns [`CoreError::BadSpec`] with a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), CoreError> {
+        self.format.validate()?;
         if self.instrs.is_empty() {
             return Err(CoreError::BadSpec("empty microprogram".into()));
         }
@@ -455,15 +511,55 @@ mod tests {
         fmt().pack(&[0, 9, 0]);
     }
 
+    /// Regression: `emit` used to panic on unknown fields, which crashed
+    /// `synthir ucode` on bad input instead of printing a diagnostic.
+    #[test]
+    fn emit_reports_unknown_fields_and_overflow_as_errors() {
+        let mut p = MicroProgram::new("t", fmt(), 0);
+        let e = p.emit(&[("bogus", 1)], NextCtl::Halt).unwrap_err();
+        assert!(e.to_string().contains("unknown field `bogus`"), "{e}");
+        let e = p.emit(&[("len", 9)], NextCtl::Halt).unwrap_err();
+        assert!(e.to_string().contains("overflows field `len`"), "{e}");
+        assert!(p.instrs().is_empty(), "failed emits must not append");
+        assert!(p.emit(&[("len", 7)], NextCtl::Halt).is_ok());
+    }
+
+    #[test]
+    fn format_validation_catches_bad_formats() {
+        assert!(MicrocodeFormat::new(vec![]).validate().is_err());
+        let dup = MicrocodeFormat::new(vec![Field::binary("a", 1), Field::binary("a", 2)]);
+        assert!(dup
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
+        let zero = MicrocodeFormat::new(vec![Field::binary("a", 0)]);
+        assert!(zero
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("zero width"));
+        let wide = MicrocodeFormat::new(vec![Field::binary("a", 100), Field::binary("b", 100)]);
+        assert!(wide.validate().unwrap_err().to_string().contains("128"));
+        assert!(fmt().validate().is_ok());
+        // Program validation picks the format check up.
+        let mut p = MicroProgram::new("t", dup, 0);
+        p.push(MicroInstr {
+            fields: vec![0, 0],
+            next: NextCtl::Halt,
+        });
+        assert!(p.validate().is_err());
+    }
+
     #[test]
     fn emit_and_validate() {
         let mut p = MicroProgram::new("t", fmt(), 2);
-        p.emit(&[("pipe", 0b0001), ("go", 1)], NextCtl::Seq);
-        p.emit(
+        p.must_emit(&[("pipe", 0b0001), ("go", 1)], NextCtl::Seq);
+        p.must_emit(
             &[("pipe", 0b0010), ("len", 3)],
             NextCtl::CondJump { cond: 0, target: 0 },
         );
-        p.emit(&[], NextCtl::Halt);
+        p.must_emit(&[], NextCtl::Halt);
         p.validate().unwrap();
         assert_eq!(p.upc_bits(), 2);
     }
@@ -472,13 +568,13 @@ mod tests {
     fn validation_catches_bad_programs() {
         let mut p = MicroProgram::new("t", fmt(), 1);
         assert!(p.validate().is_err()); // empty
-        p.emit(&[], NextCtl::Jump(5));
+        p.must_emit(&[], NextCtl::Jump(5));
         assert!(p.validate().is_err()); // bad target
         let mut p2 = MicroProgram::new("t", fmt(), 1);
-        p2.emit(&[], NextCtl::Seq);
+        p2.must_emit(&[], NextCtl::Seq);
         assert!(p2.validate().is_err()); // falls off the end
         let mut p3 = MicroProgram::new("t", fmt(), 1);
-        p3.emit(&[], NextCtl::CondJump { cond: 3, target: 0 });
+        p3.must_emit(&[], NextCtl::CondJump { cond: 3, target: 0 });
         assert!(p3.validate().is_err()); // bad condition index
         let mut p4 = MicroProgram::new("t", fmt(), 1);
         p4.push(MicroInstr {
@@ -491,12 +587,12 @@ mod tests {
     #[test]
     fn simulate_follows_control_flow() {
         let mut p = MicroProgram::new("t", fmt(), 1);
-        p.emit(&[("pipe", 0b0001)], NextCtl::Seq);
-        p.emit(
+        p.must_emit(&[("pipe", 0b0001)], NextCtl::Seq);
+        p.must_emit(
             &[("pipe", 0b0010)],
             NextCtl::CondJump { cond: 0, target: 0 },
         );
-        p.emit(&[("pipe", 0b1000)], NextCtl::Halt);
+        p.must_emit(&[("pipe", 0b1000)], NextCtl::Halt);
         p.validate().unwrap();
         // Condition low: fall through to halt.
         let t = p.simulate(&[0, 0, 0, 0], 4);
@@ -512,16 +608,16 @@ mod tests {
     #[test]
     fn field_value_sets_include_fill() {
         let mut p = MicroProgram::new("t", fmt(), 1);
-        p.emit(&[("pipe", 0b0001)], NextCtl::Jump(1));
-        p.emit(&[("pipe", 0b0010)], NextCtl::Halt);
+        p.must_emit(&[("pipe", 0b0001)], NextCtl::Jump(1));
+        p.must_emit(&[("pipe", 0b0010)], NextCtl::Halt);
         let sets = p.field_value_sets();
         // 2 instrs, upc_bits = 1, table exactly full: no zero fill needed;
         // pipe takes {1, 2}.
         assert_eq!(sets[0], [0b0001u128, 0b0010].into_iter().collect());
         let mut p = MicroProgram::new("t", fmt(), 1);
-        p.emit(&[("pipe", 0b0001)], NextCtl::Jump(1));
-        p.emit(&[("pipe", 0b0010)], NextCtl::Jump(2));
-        p.emit(&[("pipe", 0b0100)], NextCtl::Halt);
+        p.must_emit(&[("pipe", 0b0001)], NextCtl::Jump(1));
+        p.must_emit(&[("pipe", 0b0010)], NextCtl::Jump(2));
+        p.must_emit(&[("pipe", 0b0100)], NextCtl::Halt);
         let sets = p.field_value_sets();
         // Table depth 4 > 3 instrs: zero fill included.
         assert!(sets[0].contains(&0));
@@ -530,14 +626,14 @@ mod tests {
     #[test]
     fn minimized_field_covers_match_store_on_reachable_rows() {
         let mut p = MicroProgram::new("t", fmt(), 1);
-        p.emit(&[("pipe", 0b0001), ("len", 5)], NextCtl::Seq);
-        p.emit(
+        p.must_emit(&[("pipe", 0b0001), ("len", 5)], NextCtl::Seq);
+        p.must_emit(
             &[("pipe", 0b0010), ("go", 1)],
             NextCtl::CondJump { cond: 0, target: 0 },
         );
-        p.emit(&[("pipe", 0b1000), ("len", 2)], NextCtl::Jump(4));
-        p.emit(&[("pipe", 0b0100)], NextCtl::Halt); // unreachable: 2 jumps past it
-        p.emit(&[("pipe", 0b0100), ("len", 7)], NextCtl::Halt);
+        p.must_emit(&[("pipe", 0b1000), ("len", 2)], NextCtl::Jump(4));
+        p.must_emit(&[("pipe", 0b0100)], NextCtl::Halt); // unreachable: 2 jumps past it
+        p.must_emit(&[("pipe", 0b0100), ("len", 7)], NextCtl::Halt);
         p.validate().unwrap();
         let covers = p.minimized_field_covers();
         assert_eq!(covers.len(), p.format().width());

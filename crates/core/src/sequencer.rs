@@ -250,12 +250,12 @@ mod tests {
     fn demo_program() -> MicroProgram {
         let fmt = MicrocodeFormat::new(vec![Field::one_hot("pipe", 4), Field::binary("len", 2)]);
         let mut p = MicroProgram::new("demo", fmt, 2);
-        p.emit(&[("pipe", 0b0001), ("len", 1)], NextCtl::Seq);
-        p.emit(
+        p.must_emit(&[("pipe", 0b0001), ("len", 1)], NextCtl::Seq);
+        p.must_emit(
             &[("pipe", 0b0010), ("len", 2)],
             NextCtl::CondJump { cond: 1, target: 0 },
         );
-        p.emit(&[("pipe", 0b1000)], NextCtl::Jump(2));
+        p.must_emit(&[("pipe", 0b1000)], NextCtl::Jump(2));
         p
     }
 

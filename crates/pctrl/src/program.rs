@@ -123,18 +123,18 @@ fn build_cached(p: &mut MicroProgram, count: u128) {
     use cmd::*;
     use cond::*;
     // 0-1: idle loop waiting for a request.
-    p.emit(
+    p.must_emit(
         &[],
         NextCtl::CondJump {
             cond: REQ,
             target: 2,
         },
     );
-    p.emit(&[], NextCtl::Jump(0));
+    p.must_emit(&[], NextCtl::Jump(0));
     // 2: tag lookup probe on pipe 0.
-    p.emit(&[("pipe", 0b0001), ("kind", SYNC)], NextCtl::Seq);
+    p.must_emit(&[("pipe", 0b0001), ("kind", SYNC)], NextCtl::Seq);
     // 3: dirty victim? go to the writeback phase (14).
-    p.emit(
+    p.must_emit(
         &[],
         NextCtl::CondJump {
             cond: DIRTY,
@@ -143,24 +143,24 @@ fn build_cached(p: &mut MicroProgram, count: u128) {
     );
     // 4-7: line fill — read commands to each pipe with transfer timing.
     for i in 0..4 {
-        p.emit(
+        p.must_emit(
             &[("pipe", 1 << i), ("kind", READ), ("count", count)],
             NextCtl::Seq,
         );
     }
     // 8-11: forward fill data — write commands to each pipe.
     for i in 0..4 {
-        p.emit(
+        p.must_emit(
             &[("pipe", 1 << i), ("kind", WRITE), ("count", count)],
             NextCtl::Seq,
         );
     }
     // 12: signal completion; 13: back to idle.
-    p.emit(&[("done", 1)], NextCtl::Seq);
-    p.emit(&[], NextCtl::Jump(0));
+    p.must_emit(&[("done", 1)], NextCtl::Seq);
+    p.must_emit(&[], NextCtl::Jump(0));
     // 14-17: writeback reads (victim line out of the cache).
     for i in 0..4 {
-        p.emit(
+        p.must_emit(
             &[
                 ("pipe", 1 << i),
                 ("kind", READ),
@@ -172,7 +172,7 @@ fn build_cached(p: &mut MicroProgram, count: u128) {
     }
     // 18-21: writeback writes (victim line to memory).
     for i in 0..4 {
-        p.emit(
+        p.must_emit(
             &[
                 ("pipe", 1 << i),
                 ("kind", WRITE),
@@ -183,9 +183,9 @@ fn build_cached(p: &mut MicroProgram, count: u128) {
         );
     }
     // 22: sync after writeback.
-    p.emit(&[("pipe", 0b0001), ("kind", SYNC)], NextCtl::Seq);
+    p.must_emit(&[("pipe", 0b0001), ("kind", SYNC)], NextCtl::Seq);
     // 23: remote intervention?
-    p.emit(
+    p.must_emit(
         &[],
         NextCtl::CondJump {
             cond: REMOTE,
@@ -193,37 +193,37 @@ fn build_cached(p: &mut MicroProgram, count: u128) {
         },
     );
     // 24: resume the fill.
-    p.emit(&[], NextCtl::Jump(4));
+    p.must_emit(&[], NextCtl::Jump(4));
     // 25: intervention probe on the remote pipe; 26: resume fill.
-    p.emit(&[("pipe", 0b1000), ("kind", SYNC)], NextCtl::Seq);
-    p.emit(&[], NextCtl::Jump(4));
+    p.must_emit(&[("pipe", 0b1000), ("kind", SYNC)], NextCtl::Seq);
+    p.must_emit(&[], NextCtl::Jump(4));
 }
 
 fn build_uncached(p: &mut MicroProgram, count: u128) {
     use cmd::*;
     use cond::*;
     // 0-1: idle loop.
-    p.emit(
+    p.must_emit(
         &[],
         NextCtl::CondJump {
             cond: REQ,
             target: 2,
         },
     );
-    p.emit(&[], NextCtl::Jump(0));
+    p.must_emit(&[], NextCtl::Jump(0));
     // 2: single read on pipe 0.
-    p.emit(
+    p.must_emit(
         &[("pipe", 0b0001), ("kind", READ), ("count", count)],
         NextCtl::Seq,
     );
     // 3: single write on pipe 1 (to the requester's tile).
-    p.emit(
+    p.must_emit(
         &[("pipe", 0b0010), ("kind", WRITE), ("count", count)],
         NextCtl::Seq,
     );
     // 4: done; 5: back to idle.
-    p.emit(&[("done", 1)], NextCtl::Seq);
-    p.emit(&[], NextCtl::Jump(0));
+    p.must_emit(&[("done", 1)], NextCtl::Seq);
+    p.must_emit(&[], NextCtl::Jump(0));
 }
 
 /// Number of microinstructions actually used (before padding) — i.e. the

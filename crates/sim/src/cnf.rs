@@ -1,0 +1,323 @@
+//! Tseitin CNF encoding of netlist cones for the SAT equivalence engine.
+//!
+//! The BDD engine proves combinational equivalence only up to 24 shared
+//! input bits; a config write port alone blows past that. This module makes
+//! exact checking width-independent: it encodes the combinational cone of a
+//! [`Netlist`] into CNF clauses for the [`synthir_sat`] CDCL solver, so the
+//! equivalence checker can build *miters* — two designs sharing input
+//! variables, with the OR of all output differences asserted — and ask the
+//! solver for a distinguishing assignment. UNSAT is a proof of equivalence;
+//! SAT hands back a concrete counterexample.
+//!
+//! [`CnfEncoder`] is deliberately small: fresh variables, constants, the
+//! gate connectives, and an iterative (stack-safe) cone walk
+//! [`CnfEncoder::encode_cone`]. Sequential checks unroll the netlist
+//! cycle-by-cycle (bounded model checking) in `equiv`, reusing the same
+//! cone walk with flop outputs seeded as state literals.
+
+use crate::SimError;
+use std::collections::HashMap;
+use synthir_netlist::{GateKind, NetId, Netlist};
+use synthir_sat::{Lit, Solver};
+
+/// A Tseitin encoder: a [`Solver`] plus the constant-literal convention and
+/// the gate connectives.
+#[derive(Debug)]
+pub struct CnfEncoder {
+    solver: Solver,
+    true_lit: Lit,
+}
+
+impl Default for CnfEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CnfEncoder {
+    /// Creates an encoder with an empty solver (plus the constant-true
+    /// variable).
+    pub fn new() -> Self {
+        let mut solver = Solver::new();
+        let true_lit = Lit::positive(solver.new_var());
+        solver.add_clause(&[true_lit]);
+        CnfEncoder { solver, true_lit }
+    }
+
+    /// The literal that is constantly `v`.
+    pub fn constant(&self, v: bool) -> Lit {
+        if v {
+            self.true_lit
+        } else {
+            !self.true_lit
+        }
+    }
+
+    /// A fresh unconstrained literal.
+    pub fn fresh(&mut self) -> Lit {
+        Lit::positive(self.solver.new_var())
+    }
+
+    /// The underlying solver (for adding the miter clause and solving).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Read-only access to the solver (for model extraction).
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// `AND` of `ins` (true for the empty conjunction).
+    pub fn and(&mut self, ins: &[Lit]) -> Lit {
+        match ins {
+            [] => self.constant(true),
+            [a] => *a,
+            _ => {
+                let t = self.fresh();
+                let mut long: Vec<Lit> = Vec::with_capacity(ins.len() + 1);
+                long.push(t);
+                for &a in ins {
+                    self.solver.add_clause(&[!t, a]);
+                    long.push(!a);
+                }
+                self.solver.add_clause(&long);
+                t
+            }
+        }
+    }
+
+    /// `OR` of `ins` (false for the empty disjunction).
+    pub fn or(&mut self, ins: &[Lit]) -> Lit {
+        let negated: Vec<Lit> = ins.iter().map(|&l| !l).collect();
+        !self.and(&negated)
+    }
+
+    /// `a XOR b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t = self.fresh();
+        self.solver.add_clause(&[!t, a, b]);
+        self.solver.add_clause(&[!t, !a, !b]);
+        self.solver.add_clause(&[t, !a, b]);
+        self.solver.add_clause(&[t, a, !b]);
+        t
+    }
+
+    /// `sel ? then_ : else_`.
+    pub fn ite(&mut self, sel: Lit, then_: Lit, else_: Lit) -> Lit {
+        let t = self.fresh();
+        self.solver.add_clause(&[!sel, !then_, t]);
+        self.solver.add_clause(&[!sel, then_, !t]);
+        self.solver.add_clause(&[sel, !else_, t]);
+        self.solver.add_clause(&[sel, else_, !t]);
+        t
+    }
+
+    /// The output literal of one combinational gate applied to input
+    /// literals (mirrors `GateKind` semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sequential gate kind; callers must stop the cone walk at
+    /// flop outputs.
+    pub fn gate(&mut self, kind: GateKind, ins: &[Lit]) -> Lit {
+        use GateKind::*;
+        match kind {
+            Const0 => self.constant(false),
+            Const1 => self.constant(true),
+            Buf => ins[0],
+            Inv => !ins[0],
+            And2 | And3 | And4 => self.and(ins),
+            Or2 | Or3 | Or4 => self.or(ins),
+            Nand2 | Nand3 | Nand4 => !self.and(ins),
+            Nor2 | Nor3 | Nor4 => !self.or(ins),
+            Xor2 => self.xor(ins[0], ins[1]),
+            Xnor2 => !self.xor(ins[0], ins[1]),
+            Mux2 => self.ite(ins[0], ins[2], ins[1]),
+            Aoi21 => {
+                let ab = self.and(&[ins[0], ins[1]]);
+                !self.or(&[ab, ins[2]])
+            }
+            Oai21 => {
+                let ab = self.or(&[ins[0], ins[1]]);
+                !self.and(&[ab, ins[2]])
+            }
+            Aoi22 => {
+                let ab = self.and(&[ins[0], ins[1]]);
+                let cd = self.and(&[ins[2], ins[3]]);
+                !self.or(&[ab, cd])
+            }
+            Oai22 => {
+                let ab = self.or(&[ins[0], ins[1]]);
+                let cd = self.or(&[ins[2], ins[3]]);
+                !self.and(&[ab, cd])
+            }
+            Dff { .. } => panic!("sequential gate in combinational cone"),
+        }
+    }
+
+    /// Encodes the combinational cone of `nl` feeding `targets`, extending
+    /// `map` (which seeds primary inputs, bound constants and — for BMC —
+    /// flop outputs) with a literal for every visited net.
+    ///
+    /// The walk is an explicit worklist, not recursion, so arbitrarily deep
+    /// netlists (e.g. long buffer/inverter chains) cannot overflow the
+    /// stack. Undriven, unseeded nets encode as constant zero, matching the
+    /// simulator and the BDD engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidNetlist`] if the cone contains a
+    /// sequential gate whose output was not seeded.
+    pub fn encode_cone(
+        &mut self,
+        nl: &Netlist,
+        map: &mut HashMap<NetId, Lit>,
+        targets: &[NetId],
+    ) -> Result<(), SimError> {
+        let mut stack: Vec<(NetId, bool)> = targets.iter().map(|&n| (n, false)).collect();
+        while let Some((net, expanded)) = stack.pop() {
+            if map.contains_key(&net) {
+                continue;
+            }
+            let Some(g) = nl.driver(net) else {
+                map.insert(net, self.constant(false));
+                continue;
+            };
+            let gate = nl.gate(g);
+            if gate.kind.is_sequential() {
+                return Err(SimError::InvalidNetlist(
+                    "combinational cone reaches an unseeded flop output".into(),
+                ));
+            }
+            if expanded {
+                let ins: Vec<Lit> = gate.inputs.iter().map(|i| map[i]).collect();
+                let lit = self.gate(gate.kind, &ins);
+                map.insert(net, lit);
+            } else {
+                stack.push((net, true));
+                for &i in &gate.inputs {
+                    if !map.contains_key(&i) {
+                        stack.push((i, false));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a port value out of the model after a satisfiable solve.
+    pub fn model_word(&self, lits: &[Lit]) -> u128 {
+        let mut v = 0u128;
+        for (i, &l) in lits.iter().enumerate() {
+            if self.solver.model_value(l) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthir_sat::SatResult;
+
+    type BinConnective = (
+        &'static str,
+        fn(&mut CnfEncoder, Lit, Lit) -> Lit,
+        fn(bool, bool) -> bool,
+    );
+
+    #[test]
+    fn connectives_have_correct_truth_tables() {
+        // For each connective, assert the output and check the solver finds
+        // exactly the right input combinations.
+        let cases: Vec<BinConnective> = vec![
+            ("and", |e, a, b| e.and(&[a, b]), |a, b| a & b),
+            ("or", |e, a, b| e.or(&[a, b]), |a, b| a | b),
+            ("xor", |e, a, b| e.xor(a, b), |a, b| a ^ b),
+        ];
+        for (name, enc, semantics) in cases {
+            for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+                let mut e = CnfEncoder::new();
+                let a = e.fresh();
+                let b = e.fresh();
+                let y = enc(&mut e, a, b);
+                e.solver_mut().add_clause(&[Lit::new(a.var(), !va)]);
+                e.solver_mut().add_clause(&[Lit::new(b.var(), !vb)]);
+                e.solver_mut().add_clause(&[y]);
+                let expect = if semantics(va, vb) {
+                    SatResult::Sat
+                } else {
+                    SatResult::Unsat
+                };
+                assert_eq!(e.solver_mut().solve(), expect, "{name}({va}, {vb})");
+            }
+        }
+    }
+
+    #[test]
+    fn ite_selects() {
+        for (s, t, el) in [(false, true, false), (true, true, false)] {
+            let mut e = CnfEncoder::new();
+            let sel = e.constant(s);
+            let a = e.constant(t);
+            let b = e.constant(el);
+            let y = e.ite(sel, a, b);
+            e.solver_mut().add_clause(&[y]);
+            let expect = if s { t } else { el };
+            assert_eq!(
+                e.solver_mut().solve(),
+                if expect {
+                    SatResult::Sat
+                } else {
+                    SatResult::Unsat
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn cone_walk_is_stack_safe_and_correct() {
+        use synthir_netlist::Netlist;
+        // A 50_000-gate inverter chain: recursion would overflow here.
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a", 1)[0];
+        let mut n = a;
+        for _ in 0..50_000 {
+            n = nl.add_gate(GateKind::Inv, &[n]);
+        }
+        nl.add_output("y", &[n]);
+        let mut e = CnfEncoder::new();
+        let av = e.fresh();
+        let mut map = HashMap::new();
+        map.insert(a, av);
+        e.encode_cone(&nl, &mut map, &[n]).unwrap();
+        // Even chain length: y == a, so y != a must be UNSAT.
+        let y = map[&n];
+        let d = e.xor(av, y);
+        e.solver_mut().add_clause(&[d]);
+        assert_eq!(e.solver_mut().solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unseeded_flop_is_an_error() {
+        use synthir_netlist::{Netlist, ResetKind};
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d", 1)[0];
+        let q = nl.add_gate(
+            GateKind::Dff {
+                reset: ResetKind::None,
+                init: false,
+            },
+            &[d],
+        );
+        let y = nl.add_gate(GateKind::Inv, &[q]);
+        nl.add_output("y", &[y]);
+        let mut e = CnfEncoder::new();
+        let mut map = HashMap::new();
+        let err = e.encode_cone(&nl, &mut map, &[y]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidNetlist(_)));
+    }
+}

@@ -5,15 +5,68 @@
 //! flexible design it came from, with the flexible design's configuration
 //! inputs bound to the programmed values.
 
+use crate::cnf::CnfEncoder;
 use crate::comb::CombSim;
 use crate::seq::SeqSim;
 use crate::SimError;
 use std::collections::HashMap;
 use synthir_logic::{Bdd, BddRef};
 use synthir_netlist::{NetId, Netlist};
+use synthir_sat::{Lit, SatResult};
+
+/// The widest shared interface (in input bits) the BDD engine accepts.
+pub const BDD_MAX_INPUT_BITS: usize = 24;
+
+/// Which engine performs an equivalence check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EquivEngine {
+    /// Pick automatically: BDD up to [`BDD_MAX_INPUT_BITS`] shared input
+    /// bits, SAT beyond (combinational); for sequential checks, random
+    /// lockstep up to the limit, SAT-based bounded model checking plus
+    /// random lockstep beyond.
+    #[default]
+    Auto,
+    /// BDD-based exact checking. Refuses interfaces wider than
+    /// [`BDD_MAX_INPUT_BITS`] input bits and sequential checks.
+    Bdd,
+    /// Random simulation. Finds counterexamples but proves nothing.
+    Random,
+    /// CDCL SAT on a miter (combinational) or a `k`-cycle unrolling
+    /// (sequential bounded model checking). Exact at any width.
+    Sat,
+}
+
+impl EquivEngine {
+    /// Parses an engine name (`auto`, `bdd`, `random`, `sat`).
+    pub fn parse(s: &str) -> Option<EquivEngine> {
+        match s {
+            "auto" => Some(EquivEngine::Auto),
+            "bdd" => Some(EquivEngine::Bdd),
+            "random" => Some(EquivEngine::Random),
+            "sat" => Some(EquivEngine::Sat),
+            _ => None,
+        }
+    }
+
+    /// The canonical engine name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EquivEngine::Auto => "auto",
+            EquivEngine::Bdd => "bdd",
+            EquivEngine::Random => "random",
+            EquivEngine::Sat => "sat",
+        }
+    }
+}
+
+impl std::fmt::Display for EquivEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Options for equivalence checking.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct EquivOptions {
     /// Constant bindings applied to inputs of either design (by port name).
     /// Ports bound here are excluded from the shared interface.
@@ -26,10 +79,17 @@ pub struct EquivOptions {
     pub cycles: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Engine selection.
+    pub engine: EquivEngine,
+    /// Unrolling depth for SAT-based sequential checks (bounded model
+    /// checking): outputs are compared exactly for this many cycles from
+    /// reset.
+    pub bmc_depth: usize,
 }
 
 impl EquivOptions {
-    /// Reasonable defaults: 64 random words (4096 patterns), 256 cycles.
+    /// Reasonable defaults: 64 random words (4096 patterns), 256 cycles,
+    /// automatic engine selection, 8-cycle BMC unrolling.
     pub fn new() -> Self {
         EquivOptions {
             bind_left: HashMap::new(),
@@ -37,7 +97,18 @@ impl EquivOptions {
             random_words: 64,
             cycles: 256,
             seed: 0x5EED,
+            engine: EquivEngine::Auto,
+            bmc_depth: 8,
         }
+    }
+}
+
+impl Default for EquivOptions {
+    /// Identical to [`EquivOptions::new`] — a zero-filled struct would
+    /// silently mean "0 random patterns, 1-cycle BMC", which reads as a
+    /// much stronger check than it is.
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -83,6 +154,24 @@ fn shared_interface(
     right: &Netlist,
     opts: &EquivOptions,
 ) -> Result<Interface, SimError> {
+    // Bindings must name real input ports: a typo'd binding would otherwise
+    // silently widen the shared interface (the port it meant to tie off
+    // stays free), which is a soundness hole for program-then-compare
+    // checks. Ports wider than a binding value (128 bits) would silently
+    // truncate; reject those too.
+    for (binds, nl, side) in [
+        (&opts.bind_left, left, "left"),
+        (&opts.bind_right, right, "right"),
+    ] {
+        for name in binds.keys() {
+            let port = nl.input(name).map_err(|_| SimError::PortMismatch {
+                context: format!("binding names unknown input `{name}` on the {side} design"),
+            })?;
+            if port.nets.len() > 128 {
+                return Err(SimError::BadBinding { name: name.clone() });
+            }
+        }
+    }
     let mut inputs = Vec::new();
     for p in left.inputs() {
         if opts.bind_left.contains_key(&p.name) {
@@ -135,13 +224,21 @@ fn shared_interface(
 
 /// Checks combinational equivalence.
 ///
-/// Uses BDD-based exact checking when the shared interface has at most 24
-/// input bits, exhaustive simulation up to 16 bits as a cross-check, and
-/// random simulation beyond that.
+/// Engine selection follows [`EquivOptions::engine`]:
+///
+/// * [`EquivEngine::Auto`] — BDD up to [`BDD_MAX_INPUT_BITS`] shared input
+///   bits, SAT beyond, so the verdict is a *proof* at any width;
+/// * [`EquivEngine::Bdd`] — BDD only; wider interfaces are an
+///   [`SimError::EngineLimit`] error rather than a silent downgrade;
+/// * [`EquivEngine::Random`] — random simulation (finds bugs, proves
+///   nothing);
+/// * [`EquivEngine::Sat`] — CDCL SAT on the Tseitin-encoded miter.
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] for invalid netlists or incompatible interfaces.
+/// Returns [`SimError`] for invalid netlists, incompatible interfaces,
+/// bindings naming unknown or over-wide ports, or an engine that cannot
+/// handle the interface.
 pub fn check_comb_equiv(
     left: &Netlist,
     right: &Netlist,
@@ -149,13 +246,36 @@ pub fn check_comb_equiv(
 ) -> Result<EquivResult, SimError> {
     let iface = shared_interface(left, right, opts)?;
     let total_bits: usize = iface.inputs.iter().map(|(_, w)| w).sum();
-    if total_bits <= 24 {
-        check_comb_bdd(left, right, &iface, opts)
-    } else {
-        check_comb_random(left, right, &iface, opts)
+    match opts.engine {
+        EquivEngine::Auto => {
+            if total_bits <= BDD_MAX_INPUT_BITS {
+                check_comb_bdd(left, right, &iface, opts)
+            } else {
+                check_comb_sat(left, right, &iface, opts)
+            }
+        }
+        EquivEngine::Bdd => {
+            if total_bits <= BDD_MAX_INPUT_BITS {
+                check_comb_bdd(left, right, &iface, opts)
+            } else {
+                Err(SimError::EngineLimit {
+                    context: format!(
+                        "BDD engine is limited to {BDD_MAX_INPUT_BITS} shared input bits, \
+                         interface has {total_bits} (use the sat engine)"
+                    ),
+                })
+            }
+        }
+        EquivEngine::Random => check_comb_random(left, right, &iface, opts),
+        EquivEngine::Sat => check_comb_sat(left, right, &iface, opts),
     }
 }
 
+/// Builds the BDD of a net's combinational cone.
+///
+/// The cone walk is an explicit worklist, not recursion: deep netlists
+/// (e.g. a 10k-gate inverter chain) would overflow the call stack with a
+/// per-gate recursive descent.
 fn net_bdd(
     nl: &Netlist,
     bdd: &mut Bdd,
@@ -163,29 +283,41 @@ fn net_bdd(
     cache: &mut HashMap<NetId, BddRef>,
     net: NetId,
 ) -> BddRef {
-    if let Some(&r) = cache.get(&net) {
-        return r;
-    }
-    let r = if let Some(&v) = input_vars.get(&net) {
-        bdd.var(v)
-    } else if let Some(g) = nl.driver(net) {
-        let gate = nl.gate(g).clone();
+    let mut stack: Vec<(NetId, bool)> = vec![(net, false)];
+    while let Some((n, expanded)) = stack.pop() {
+        if cache.contains_key(&n) {
+            continue;
+        }
+        if let Some(&v) = input_vars.get(&n) {
+            let r = bdd.var(v);
+            cache.insert(n, r);
+            continue;
+        }
+        let Some(g) = nl.driver(n) else {
+            // Undriven non-input net: constant 0.
+            cache.insert(n, BddRef::ZERO);
+            continue;
+        };
+        let gate = nl.gate(g);
         assert!(
             !gate.kind.is_sequential(),
             "combinational equivalence on sequential netlist"
         );
-        let ins: Vec<BddRef> = gate
-            .inputs
-            .iter()
-            .map(|&i| net_bdd(nl, bdd, input_vars, cache, i))
-            .collect();
-        apply_gate(bdd, gate.kind, &ins)
-    } else {
-        // Undriven non-input net: constant 0.
-        BddRef::ZERO
-    };
-    cache.insert(net, r);
-    r
+        if expanded {
+            let ins: Vec<BddRef> = gate.inputs.iter().map(|i| cache[i]).collect();
+            let kind = gate.kind;
+            let r = apply_gate(bdd, kind, &ins);
+            cache.insert(n, r);
+        } else {
+            stack.push((n, true));
+            for &i in &gate.inputs {
+                if !cache.contains_key(&i) {
+                    stack.push((i, false));
+                }
+            }
+        }
+    }
+    cache[&net]
 }
 
 fn apply_gate(bdd: &mut Bdd, kind: synthir_netlist::GateKind, ins: &[BddRef]) -> BddRef {
@@ -436,8 +568,270 @@ fn check_comb_random(
     Ok(EquivResult::Equivalent)
 }
 
+/// Seeds a CNF literal map for a design's primary inputs: bound ports get
+/// constant literals, shared ports get the interface literals.
+fn seed_inputs(
+    nl: &Netlist,
+    binds: &HashMap<String, u128>,
+    shared: &HashMap<String, Vec<Lit>>,
+    enc: &CnfEncoder,
+) -> HashMap<NetId, Lit> {
+    let mut seeds: HashMap<NetId, Lit> = HashMap::new();
+    for p in nl.inputs() {
+        if let Some(&v) = binds.get(&p.name) {
+            for (i, &n) in p.nets.iter().enumerate() {
+                seeds.insert(n, enc.constant(v >> i & 1 != 0));
+            }
+        } else if let Some(lits) = shared.get(&p.name) {
+            for (i, &n) in p.nets.iter().enumerate() {
+                seeds.insert(n, lits[i]);
+            }
+        }
+    }
+    seeds
+}
+
+/// SAT-based exact combinational check: Tseitin-encode both cones over
+/// shared input variables, assert the OR of all output differences (the
+/// miter), and solve. UNSAT proves equivalence at any interface width.
+fn check_comb_sat(
+    left: &Netlist,
+    right: &Netlist,
+    iface: &Interface,
+    opts: &EquivOptions,
+) -> Result<EquivResult, SimError> {
+    let mut enc = CnfEncoder::new();
+    let mut shared: HashMap<String, Vec<Lit>> = HashMap::new();
+    for (name, w) in &iface.inputs {
+        let lits: Vec<Lit> = (0..*w).map(|_| enc.fresh()).collect();
+        shared.insert(name.clone(), lits);
+    }
+    let encode = |nl: &Netlist,
+                  binds: &HashMap<String, u128>,
+                  enc: &mut CnfEncoder|
+     -> Result<HashMap<String, Vec<Lit>>, SimError> {
+        let mut map = seed_inputs(nl, binds, &shared, enc);
+        let mut outs = HashMap::new();
+        for (name, _) in &iface.outputs {
+            let port = nl.output(name).expect("interface output exists");
+            enc.encode_cone(nl, &mut map, &port.nets)?;
+            let lits: Vec<Lit> = port.nets.iter().map(|n| map[n]).collect();
+            outs.insert(name.clone(), lits);
+        }
+        Ok(outs)
+    };
+    let louts = encode(left, &opts.bind_left, &mut enc)?;
+    let routs = encode(right, &opts.bind_right, &mut enc)?;
+    let mut diffs: Vec<Lit> = Vec::new();
+    for (name, w) in &iface.outputs {
+        for bit in 0..*w {
+            let d = enc.xor(louts[name][bit], routs[name][bit]);
+            diffs.push(d);
+        }
+    }
+    // The miter: at least one output bit differs.
+    enc.solver_mut().add_clause(&diffs);
+    match enc.solver_mut().solve() {
+        SatResult::Unsat => Ok(EquivResult::Equivalent),
+        SatResult::Sat => {
+            let mut inputs = HashMap::new();
+            for (name, _) in &iface.inputs {
+                inputs.insert(name.clone(), enc.model_word(&shared[name]));
+            }
+            // Replay through the simulator: validates the encoding and
+            // pins down which output differs.
+            for (name, _) in &iface.outputs {
+                let lv = eval_once(left, &inputs, &opts.bind_left, name);
+                let rv = eval_once(right, &inputs, &opts.bind_right, name);
+                if lv != rv {
+                    return Ok(EquivResult::Inequivalent(Box::new(Counterexample {
+                        inputs,
+                        output: name.clone(),
+                        left: lv,
+                        right: rv,
+                    })));
+                }
+            }
+            Err(SimError::InvalidNetlist(
+                "internal: SAT counterexample failed simulation replay".into(),
+            ))
+        }
+    }
+}
+
+/// SAT-based bounded model check: unroll both designs `depth` cycles from
+/// reset over shared per-cycle input variables and assert that some output
+/// differs in some cycle. UNSAT proves the designs agree on every input
+/// sequence of that length.
+fn check_seq_bmc(
+    left: &Netlist,
+    right: &Netlist,
+    iface: &Interface,
+    opts: &EquivOptions,
+    depth: usize,
+) -> Result<EquivResult, SimError> {
+    struct Unrolled {
+        /// Flop output net -> literal holding the state for the current
+        /// cycle.
+        state: HashMap<NetId, Lit>,
+    }
+    let init_state = |nl: &Netlist, enc: &CnfEncoder| -> Unrolled {
+        let mut state = HashMap::new();
+        for (_, g) in nl.gates() {
+            if let synthir_netlist::GateKind::Dff { init, .. } = g.kind {
+                state.insert(g.output, enc.constant(init));
+            }
+        }
+        Unrolled { state }
+    };
+    let mut enc = CnfEncoder::new();
+    let mut lstate = init_state(left, &enc);
+    let mut rstate = init_state(right, &enc);
+    let mut diffs: Vec<Lit> = Vec::new();
+    let mut cycle_inputs: Vec<HashMap<String, Vec<Lit>>> = Vec::new();
+    for _cycle in 0..depth.max(1) {
+        let mut shared: HashMap<String, Vec<Lit>> = HashMap::new();
+        for (name, w) in &iface.inputs {
+            // Keep reset deasserted after the initial state, matching the
+            // random lockstep check and `SeqSim::new`'s applied reset.
+            let lits: Vec<Lit> = if name == "rst" {
+                (0..*w).map(|_| enc.constant(false)).collect()
+            } else {
+                (0..*w).map(|_| enc.fresh()).collect()
+            };
+            shared.insert(name.clone(), lits);
+        }
+        let step = |nl: &Netlist,
+                    binds: &HashMap<String, u128>,
+                    st: &mut Unrolled,
+                    enc: &mut CnfEncoder|
+         -> Result<HashMap<String, Vec<Lit>>, SimError> {
+            let mut map = seed_inputs(nl, binds, &shared, enc);
+            for (&q, &l) in &st.state {
+                map.insert(q, l);
+            }
+            // Encode everything the cycle needs: the observed outputs plus
+            // every flop's data (and reset) cone.
+            let mut targets: Vec<NetId> = Vec::new();
+            for (name, _) in &iface.outputs {
+                targets.extend(nl.output(name).expect("interface output").nets.iter());
+            }
+            for (_, g) in nl.gates() {
+                if g.kind.is_sequential() {
+                    targets.extend(g.inputs.iter());
+                }
+            }
+            enc.encode_cone(nl, &mut map, &targets)?;
+            let mut outs = HashMap::new();
+            for (name, _) in &iface.outputs {
+                let port = nl.output(name).expect("interface output");
+                outs.insert(
+                    name.clone(),
+                    port.nets.iter().map(|n| map[n]).collect::<Vec<Lit>>(),
+                );
+            }
+            // Clock edge: next state per flop, with reset semantics.
+            let mut next = HashMap::new();
+            for (_, g) in nl.gates() {
+                if let synthir_netlist::GateKind::Dff { reset, init } = g.kind {
+                    let d = map[&g.inputs[0]];
+                    let v = match reset {
+                        synthir_netlist::ResetKind::None => d,
+                        _ => {
+                            let rst = map[&g.inputs[1]];
+                            let iv = enc.constant(init);
+                            enc.ite(rst, iv, d)
+                        }
+                    };
+                    next.insert(g.output, v);
+                }
+            }
+            st.state = next;
+            Ok(outs)
+        };
+        let louts = step(left, &opts.bind_left, &mut lstate, &mut enc)?;
+        let routs = step(right, &opts.bind_right, &mut rstate, &mut enc)?;
+        for (name, w) in &iface.outputs {
+            for bit in 0..*w {
+                let d = enc.xor(louts[name][bit], routs[name][bit]);
+                diffs.push(d);
+            }
+        }
+        cycle_inputs.push(shared);
+    }
+    enc.solver_mut().add_clause(&diffs);
+    match enc.solver_mut().solve() {
+        SatResult::Unsat => Ok(EquivResult::Equivalent),
+        SatResult::Sat => {
+            // Decode the input sequence and replay it cycle-accurately to
+            // find the first differing cycle.
+            let sequence: Vec<HashMap<String, u128>> = cycle_inputs
+                .iter()
+                .map(|shared| {
+                    let mut m = HashMap::new();
+                    for (name, lits) in shared {
+                        m.insert(name.clone(), enc.model_word(lits));
+                    }
+                    m
+                })
+                .collect();
+            let mut lsim = SeqSim::new(left)?;
+            let mut rsim = SeqSim::new(right)?;
+            for (cycle, inputs) in sequence.iter().enumerate() {
+                let overlay = |binds: &HashMap<String, u128>| {
+                    let mut m = inputs.clone();
+                    for (k, v) in binds {
+                        m.insert(k.clone(), *v);
+                    }
+                    m
+                };
+                let lout = lsim.step(&overlay(&opts.bind_left));
+                let rout = rsim.step(&overlay(&opts.bind_right));
+                for (name, _) in &iface.outputs {
+                    if lout[name] != rout[name] {
+                        // The failing cycle's inputs under their plain
+                        // names (the lockstep checker's convention), plus
+                        // the full solver-chosen prefix as `name@cycle` —
+                        // without it the mismatch is not reproducible,
+                        // since the divergence may need state built up
+                        // over earlier cycles.
+                        let mut cex_inputs = inputs.clone();
+                        cex_inputs.insert("__cycle".into(), cycle as u128);
+                        for (t, cyc) in sequence.iter().enumerate().take(cycle + 1) {
+                            for (name, v) in cyc {
+                                cex_inputs.insert(format!("{name}@{t}"), *v);
+                            }
+                        }
+                        return Ok(EquivResult::Inequivalent(Box::new(Counterexample {
+                            inputs: cex_inputs,
+                            output: name.clone(),
+                            left: lout[name],
+                            right: rout[name],
+                        })));
+                    }
+                }
+            }
+            Err(SimError::InvalidNetlist(
+                "internal: BMC counterexample failed simulation replay".into(),
+            ))
+        }
+    }
+}
+
 /// Checks sequential equivalence by resetting both designs and driving them
 /// with identical random input sequences, comparing outputs each cycle.
+///
+/// Engine selection follows [`EquivOptions::engine`]:
+///
+/// * [`EquivEngine::Auto`] — random lockstep for narrow interfaces; beyond
+///   [`BDD_MAX_INPUT_BITS`] shared input bits (where random stimulus stops
+///   covering the space) an exact [`EquivOptions::bmc_depth`]-cycle bounded
+///   model check runs first, then random lockstep probes deeper cycles;
+/// * [`EquivEngine::Random`] — random lockstep only;
+/// * [`EquivEngine::Sat`] — bounded model checking only (exact up to
+///   [`EquivOptions::bmc_depth`] cycles);
+/// * [`EquivEngine::Bdd`] — unsupported for sequential checks
+///   ([`SimError::EngineLimit`]).
 ///
 /// # Errors
 ///
@@ -448,6 +842,39 @@ pub fn check_seq_equiv(
     opts: &EquivOptions,
 ) -> Result<EquivResult, SimError> {
     let iface = shared_interface(left, right, opts)?;
+    let total_bits: usize = iface.inputs.iter().map(|(_, w)| w).sum();
+    match opts.engine {
+        EquivEngine::Bdd => {
+            return Err(SimError::EngineLimit {
+                context: "BDD engine does not support sequential equivalence \
+                          (use sat, random or auto)"
+                    .into(),
+            })
+        }
+        EquivEngine::Sat => {
+            return check_seq_bmc(left, right, &iface, opts, opts.bmc_depth);
+        }
+        EquivEngine::Auto => {
+            if total_bits > BDD_MAX_INPUT_BITS {
+                let res = check_seq_bmc(left, right, &iface, opts, opts.bmc_depth)?;
+                if !res.is_equivalent() {
+                    return Ok(res);
+                }
+                // Fall through: random lockstep probes beyond the bound.
+            }
+        }
+        EquivEngine::Random => {}
+    }
+    check_seq_random(left, right, &iface, opts)
+}
+
+/// Random lockstep comparison over [`EquivOptions::cycles`] cycles.
+fn check_seq_random(
+    left: &Netlist,
+    right: &Netlist,
+    iface: &Interface,
+    opts: &EquivOptions,
+) -> Result<EquivResult, SimError> {
     let mut lsim = SeqSim::new(left)?;
     let mut rsim = SeqSim::new(right)?;
     let mut rng = SplitMix::new(opts.seed);
@@ -621,6 +1048,265 @@ mod tests {
         };
         let res = check_seq_equiv(&build(false), &build(true), &EquivOptions::new()).unwrap();
         assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn unknown_bind_name_is_rejected() {
+        let l = and_module(false);
+        let r = and_module(true);
+        let mut opts = EquivOptions::new();
+        opts.bind_left.insert("cfg_typo".into(), 1);
+        let err = check_comb_equiv(&l, &r, &opts).unwrap_err();
+        assert!(
+            matches!(&err, SimError::PortMismatch { context } if context.contains("cfg_typo")),
+            "{err:?}"
+        );
+        // Same validation on the right side and for sequential checks.
+        let mut opts = EquivOptions::new();
+        opts.bind_right.insert("nope".into(), 0);
+        assert!(check_comb_equiv(&l, &r, &opts).is_err());
+        assert!(check_seq_equiv(&l, &r, &opts).is_err());
+    }
+
+    #[test]
+    fn over_wide_binding_is_rejected() {
+        let build = || {
+            let mut nl = Netlist::new("w");
+            let a = nl.add_input("a", 1)[0];
+            let wide = nl.add_input("wide", 130);
+            let y = nl.add_gate(GateKind::And2, &[a, wide[129]]);
+            nl.add_output("y", &[y]);
+            nl
+        };
+        let l = build();
+        let r = build();
+        let mut opts = EquivOptions::new();
+        opts.engine = EquivEngine::Sat;
+        opts.bind_left.insert("wide".into(), 1);
+        opts.bind_right.insert("wide".into(), 1);
+        let err = check_comb_equiv(&l, &r, &opts).unwrap_err();
+        assert!(
+            matches!(&err, SimError::BadBinding { name } if name == "wide"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn sat_engine_matches_bdd_on_small_designs() {
+        let l = and_module(false);
+        let r = and_module(true);
+        let mut opts = EquivOptions::new();
+        opts.engine = EquivEngine::Sat;
+        assert!(check_comb_equiv(&l, &r, &opts).unwrap().is_equivalent());
+
+        let mut r2 = Netlist::new("m");
+        let a = r2.add_input("a", 1)[0];
+        let b = r2.add_input("b", 1)[0];
+        let y = r2.add_gate(GateKind::Or2, &[a, b]);
+        r2.add_output("y", &[y]);
+        match check_comb_equiv(&l, &r2, &opts).unwrap() {
+            EquivResult::Inequivalent(cex) => {
+                let a = cex.inputs["a"];
+                let b = cex.inputs["b"];
+                assert_ne!(a & b, a | b, "cex must distinguish AND from OR");
+                assert_ne!(cex.left, cex.right);
+            }
+            EquivResult::Equivalent => panic!("missed inequivalence"),
+        }
+    }
+
+    /// A wide (>24-bit) interface: Auto and Sat prove it, Bdd refuses.
+    #[test]
+    fn wide_interfaces_use_sat_and_bdd_refuses() {
+        let wide = |extra_inv: bool| {
+            // y = parity-ish AND/OR tree over 32 inputs, 1 bit each.
+            let mut nl = Netlist::new("wide");
+            let mut nets = Vec::new();
+            for i in 0..32 {
+                nets.push(nl.add_input(format!("i{i}"), 1)[0]);
+            }
+            let mut acc = nets[0];
+            for (i, &n) in nets.iter().enumerate().skip(1) {
+                acc = if i % 3 == 0 {
+                    nl.add_gate(GateKind::Xor2, &[acc, n])
+                } else if i % 3 == 1 {
+                    nl.add_gate(GateKind::And2, &[acc, n])
+                } else {
+                    nl.add_gate(GateKind::Or2, &[acc, n])
+                };
+            }
+            if extra_inv {
+                let t = nl.add_gate(GateKind::Inv, &[acc]);
+                acc = nl.add_gate(GateKind::Inv, &[t]);
+            }
+            nl.add_output("y", &[acc]);
+            nl
+        };
+        let l = wide(false);
+        let r = wide(true);
+        // Auto routes to SAT and proves it.
+        let res = check_comb_equiv(&l, &r, &EquivOptions::new()).unwrap();
+        assert!(res.is_equivalent());
+        // So does asking for SAT explicitly.
+        let mut opts = EquivOptions::new();
+        opts.engine = EquivEngine::Sat;
+        let res = check_comb_equiv(&l, &r, &opts).unwrap();
+        assert!(res.is_equivalent());
+        // Bdd refuses instead of silently downgrading.
+        opts.engine = EquivEngine::Bdd;
+        let err = check_comb_equiv(&l, &r, &opts).unwrap_err();
+        assert!(matches!(err, SimError::EngineLimit { .. }), "{err:?}");
+    }
+
+    /// SAT finds a concrete counterexample on a wide inequivalent pair.
+    #[test]
+    fn wide_inequivalence_is_found() {
+        let build = |flip_last: bool| {
+            let mut nl = Netlist::new("wide");
+            let x = nl.add_input("x", 30);
+            let mut acc = x[0];
+            for &n in &x[1..] {
+                acc = nl.add_gate(GateKind::Xor2, &[acc, n]);
+            }
+            if flip_last {
+                acc = nl.add_gate(GateKind::Inv, &[acc]);
+            }
+            nl.add_output("y", &[acc]);
+            nl
+        };
+        let l = build(false);
+        let r = build(true);
+        let mut opts = EquivOptions::new();
+        opts.engine = EquivEngine::Sat;
+        match check_comb_equiv(&l, &r, &opts).unwrap() {
+            EquivResult::Inequivalent(cex) => {
+                assert_eq!(cex.output, "y");
+                assert_ne!(cex.left, cex.right);
+            }
+            EquivResult::Equivalent => panic!("missed wide inequivalence"),
+        }
+    }
+
+    /// Regression: a ~10k-gate inverter chain must not overflow the stack
+    /// in either the BDD or the SAT cone walk.
+    #[test]
+    fn deep_netlists_do_not_overflow_the_stack() {
+        let chain = |n: usize| {
+            let mut nl = Netlist::new("chain");
+            let a = nl.add_input("a", 1)[0];
+            let mut net = a;
+            for _ in 0..n {
+                net = nl.add_gate(GateKind::Inv, &[net]);
+            }
+            nl.add_output("y", &[net]);
+            nl
+        };
+        let l = chain(10_000);
+        let r = chain(10_002);
+        // BDD path (1-bit interface).
+        let res = check_comb_equiv(&l, &r, &EquivOptions::new()).unwrap();
+        assert!(res.is_equivalent());
+        // SAT path.
+        let mut opts = EquivOptions::new();
+        opts.engine = EquivEngine::Sat;
+        let res = check_comb_equiv(&l, &r, &opts).unwrap();
+        assert!(res.is_equivalent());
+        // Odd-length chain differs.
+        let odd = chain(10_001);
+        let res = check_comb_equiv(&l, &odd, &opts).unwrap();
+        assert!(!res.is_equivalent());
+    }
+
+    #[test]
+    fn bmc_proves_and_refutes_sequential_designs() {
+        use synthir_netlist::ResetKind;
+        let build = |init: bool, double_inv: bool| {
+            let mut nl = Netlist::new("t");
+            let rst = nl.add_input("rst", 1)[0];
+            let d = nl.add_input("d", 1)[0];
+            let mut din = d;
+            if double_inv {
+                let t = nl.add_gate(GateKind::Inv, &[din]);
+                din = nl.add_gate(GateKind::Inv, &[t]);
+            }
+            let q = nl.add_gate(
+                GateKind::Dff {
+                    reset: ResetKind::Sync,
+                    init,
+                },
+                &[din, rst],
+            );
+            nl.add_output("q", &[q]);
+            nl
+        };
+        let mut opts = EquivOptions::new();
+        opts.engine = EquivEngine::Sat;
+        let res = check_seq_equiv(&build(false, false), &build(false, true), &opts).unwrap();
+        assert!(res.is_equivalent());
+        // Different init values show up at cycle 0 (Moore sampling).
+        match check_seq_equiv(&build(false, false), &build(true, false), &opts).unwrap() {
+            EquivResult::Inequivalent(cex) => {
+                assert_eq!(cex.inputs["__cycle"], 0);
+                assert_eq!(cex.output, "q");
+            }
+            EquivResult::Equivalent => panic!("missed init difference"),
+        }
+        // A difference that needs one transition: same init, inverted D.
+        let mut inv_d = Netlist::new("t");
+        let rst = inv_d.add_input("rst", 1)[0];
+        let d = inv_d.add_input("d", 1)[0];
+        let din = inv_d.add_gate(GateKind::Inv, &[d]);
+        let q = inv_d.add_gate(
+            GateKind::Dff {
+                reset: ResetKind::Sync,
+                init: false,
+            },
+            &[din, rst],
+        );
+        inv_d.add_output("q", &[q]);
+        match check_seq_equiv(&build(false, false), &inv_d, &opts).unwrap() {
+            EquivResult::Inequivalent(cex) => {
+                assert!(cex.inputs["__cycle"] >= 1, "{cex:?}");
+                // The full input prefix must be reported (`name@cycle`),
+                // otherwise the mismatch is not reproducible.
+                assert!(cex.inputs.contains_key("d@0"), "{cex:?}");
+            }
+            EquivResult::Equivalent => panic!("missed D inversion"),
+        }
+    }
+
+    #[test]
+    fn bdd_engine_refuses_sequential() {
+        use synthir_netlist::ResetKind;
+        let mut nl = Netlist::new("t");
+        let rst = nl.add_input("rst", 1)[0];
+        let d = nl.add_input("d", 1)[0];
+        let q = nl.add_gate(
+            GateKind::Dff {
+                reset: ResetKind::Sync,
+                init: false,
+            },
+            &[d, rst],
+        );
+        nl.add_output("q", &[q]);
+        let mut opts = EquivOptions::new();
+        opts.engine = EquivEngine::Bdd;
+        let err = check_seq_equiv(&nl, &nl.clone(), &opts).unwrap_err();
+        assert!(matches!(err, SimError::EngineLimit { .. }));
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for e in [
+            EquivEngine::Auto,
+            EquivEngine::Bdd,
+            EquivEngine::Random,
+            EquivEngine::Sat,
+        ] {
+            assert_eq!(EquivEngine::parse(e.as_str()), Some(e));
+        }
+        assert_eq!(EquivEngine::parse("bogus"), None);
+        assert_eq!(EquivEngine::default(), EquivEngine::Auto);
     }
 
     #[test]

@@ -9,10 +9,12 @@
 //!
 //! * [`CombSim`] — bit-parallel (64 patterns/word) combinational evaluation,
 //! * [`SeqSim`] — cycle-accurate sequential simulation with reset handling,
-//! * [`equiv`] — random, exhaustive and BDD-based combinational equivalence,
-//!   plus random sequential equivalence under input bindings (used to check
-//!   a specialized design against its flexible parent with the
-//!   configuration port tied to the table being specialized).
+//! * [`equiv`] — random, BDD- and SAT-based combinational equivalence, plus
+//!   sequential equivalence (random lockstep and SAT-based bounded model
+//!   checking) under input bindings (used to check a specialized design
+//!   against its flexible parent with the configuration port tied to the
+//!   table being specialized),
+//! * [`cnf`] — the Tseitin netlist-to-CNF encoder behind the SAT engine.
 //!
 //! ## Example
 //!
@@ -34,13 +36,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cnf;
 pub mod comb;
 pub mod equiv;
 pub mod seq;
 pub mod vcd;
 
 pub use comb::{CombSim, CombSimBound};
-pub use equiv::{check_comb_equiv, check_seq_equiv, Counterexample, EquivOptions, EquivResult};
+pub use equiv::{
+    check_comb_equiv, check_seq_equiv, Counterexample, EquivEngine, EquivOptions, EquivResult,
+    BDD_MAX_INPUT_BITS,
+};
 pub use seq::SeqSim;
 
 /// Errors produced by simulation and equivalence checking.
@@ -58,6 +64,11 @@ pub enum SimError {
         /// The offending binding's signal name.
         name: String,
     },
+    /// The selected equivalence engine cannot handle the problem.
+    EngineLimit {
+        /// What the engine cannot do.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -66,6 +77,7 @@ impl std::fmt::Display for SimError {
             SimError::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
             SimError::PortMismatch { context } => write!(f, "port mismatch: {context}"),
             SimError::BadBinding { name } => write!(f, "bad binding for `{name}`"),
+            SimError::EngineLimit { context } => write!(f, "engine limit: {context}"),
         }
     }
 }

@@ -57,11 +57,14 @@ pub fn compile_netlist(
     nl.validate()
         .map_err(|e| SynthError::InvalidNetlist(e.to_string()))?;
     let mut stats: Vec<(&'static str, usize)> = Vec::new();
+    let mut verifier = PassVerifier::new(opts.verify_each_pass, &nl);
 
     // 1. Baseline cleanup: constant folding plus sharing.
     stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+    verifier.check(&nl, "const_fold")?;
     if opts.strash {
         stats.push(("strash", crate::strash::strash(&mut nl)));
+        verifier.check(&nl, "strash")?;
     }
 
     // 2. FSM re-encoding (only with metadata, like the real tool).
@@ -71,6 +74,7 @@ pub fn compile_netlist(
                 Ok(true) => {
                     stats.push(("fsm_reencode", 1));
                     stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+                    verifier.check(&nl, "fsm_reencode")?;
                 }
                 Ok(false) => {}
                 Err(SynthError::FsmExtraction(_)) => stats.push(("fsm_reencode_skipped", 1)),
@@ -90,6 +94,7 @@ pub fn compile_netlist(
         if n > 0 {
             stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
         }
+        verifier.check(&nl, "retime")?;
     }
 
     // 4. State propagation and folding over annotated groups.
@@ -99,20 +104,25 @@ pub fn compile_netlist(
         if n > 0 {
             stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
         }
+        verifier.check(&nl, "state_propagation")?;
     }
 
     // 5. Collapse-and-re-cover resynthesis, then clean up again.
     stats.push(("resynthesize", crate::resynth::resynthesize(&mut nl, opts)));
     stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+    verifier.check(&nl, "resynthesize")?;
     if opts.strash {
         stats.push(("strash", crate::strash::strash(&mut nl)));
+        verifier.check(&nl, "strash")?;
     }
 
     // 6. Technology mapping.
     if opts.techmap {
         stats.push(("techmap", crate::techmap::techmap(&mut nl)));
+        verifier.check(&nl, "techmap")?;
     }
     nl.sweep();
+    verifier.check(&nl, "sweep")?;
     nl.validate()
         .map_err(|e| SynthError::InvalidNetlist(e.to_string()))?;
 
@@ -124,6 +134,54 @@ pub fn compile_netlist(
         timing,
         stats,
     })
+}
+
+/// The `verify_each_pass` debug harness: holds the netlist as of the last
+/// verified pass and SAT-checks each new snapshot against it.
+///
+/// Pure combinational designs use the miter check; anything with flops is
+/// bounded-model-checked from reset. Both are exact within their scope, so
+/// a pass that changes observable behaviour is caught with a concrete
+/// counterexample in the error message.
+struct PassVerifier {
+    prev: Option<Netlist>,
+}
+
+impl PassVerifier {
+    fn new(enabled: bool, nl: &Netlist) -> Self {
+        PassVerifier {
+            prev: enabled.then(|| nl.clone()),
+        }
+    }
+
+    fn check(&mut self, nl: &Netlist, pass: &'static str) -> Result<(), SynthError> {
+        let Some(prev) = &self.prev else {
+            return Ok(());
+        };
+        use synthir_sim::{check_comb_equiv, check_seq_equiv, EquivEngine, EquivOptions};
+        let mut eopts = EquivOptions::new();
+        eopts.engine = EquivEngine::Sat;
+        eopts.bmc_depth = 6;
+        let res = if prev.flop_count() == 0 && nl.flop_count() == 0 {
+            check_comb_equiv(prev, nl, &eopts)
+        } else {
+            check_seq_equiv(prev, nl, &eopts)
+        }
+        .map_err(|e| SynthError::PassVerification(format!("after `{pass}`: {e}")))?;
+        match res {
+            synthir_sim::EquivResult::Equivalent => {
+                self.prev = Some(nl.clone());
+                Ok(())
+            }
+            synthir_sim::EquivResult::Inequivalent(cex) => {
+                Err(SynthError::PassVerification(format!(
+                    "pass `{pass}` changed behaviour: output `{}` differs \
+                     ({:#x} vs {:#x}) for inputs {:?}",
+                    cex.output, cex.left, cex.right, cex.inputs
+                )))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +278,34 @@ mod tests {
             }
             assert_eq!(got, words[m], "minterm {m}");
         }
+    }
+
+    /// `verify_each_pass` SAT-checks every pass against its predecessor —
+    /// on healthy passes the flow completes and the results are identical
+    /// to an unverified run. Covers both the combinational miter (SOP
+    /// module, no flops) and the sequential BMC (table FSM) checkers.
+    #[test]
+    fn verify_each_pass_accepts_healthy_flows() {
+        let lib = Library::vt90();
+        let verified = SynthOptions::default().with_verify_each_pass();
+        assert!(verified.verify_each_pass);
+        // Combinational: a direct SOP module.
+        let tts: Vec<TruthTable> = (0..2).map(|i| random_tt(4, 99 + i)).collect();
+        let covers: Vec<synthir_logic::Cover> = tts
+            .iter()
+            .map(|t| synthir_logic::espresso::minimize_tt(t, None))
+            .collect();
+        let sop = styles::sop_module("sop", 4, &covers);
+        let elab = elaborate(&sop).unwrap();
+        let r = compile(&elab, &lib, &verified).unwrap();
+        let r0 = compile(&elab, &lib, &SynthOptions::default()).unwrap();
+        assert_eq!(r.netlist.num_gates(), r0.netlist.num_gates());
+        // Sequential: a bound table FSM (flops + reset).
+        let words: Vec<u128> = (0..16).map(|m| (m as u128 * 5) & 0x7).collect();
+        let tab = styles::table_module("tab", 4, 3, &words);
+        let elab = elaborate(&tab).unwrap();
+        let r = compile(&elab, &lib, &verified).unwrap();
+        assert!(r.netlist.num_gates() > 0);
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub enum SynthError {
     /// An FSM re-encoding was requested but the netlist does not have the
     /// required state/input/output separation within effort limits.
     FsmExtraction(String),
+    /// `verify_each_pass` found a pass that changed observable behaviour
+    /// (or could not run the check).
+    PassVerification(String),
 }
 
 impl std::fmt::Display for SynthError {
@@ -62,6 +65,7 @@ impl std::fmt::Display for SynthError {
         match self {
             SynthError::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
             SynthError::FsmExtraction(e) => write!(f, "fsm extraction failed: {e}"),
+            SynthError::PassVerification(e) => write!(f, "pass verification failed: {e}"),
         }
     }
 }

@@ -43,6 +43,11 @@ pub struct SynthOptions {
     pub strash: bool,
     /// Run technology mapping (NAND/NOR/AOI conversion).
     pub techmap: bool,
+    /// Debug option: after every pass, SAT-check the netlist against its
+    /// predecessor (combinational miter for pure logic, bounded model check
+    /// from reset for sequential designs) and abort the flow if a pass
+    /// changed observable behaviour. Expensive; off by default.
+    pub verify_each_pass: bool,
 }
 
 impl Default for SynthOptions {
@@ -58,6 +63,7 @@ impl Default for SynthOptions {
             fsm_enum_limit: 1 << 18,
             strash: true,
             techmap: true,
+            verify_each_pass: false,
         }
     }
 }
@@ -77,6 +83,12 @@ impl SynthOptions {
     /// Returns options with a specific FSM encoding.
     pub fn with_fsm_encoding(mut self, enc: FsmEncoding) -> Self {
         self.fsm_encoding = enc;
+        self
+    }
+
+    /// Returns options with per-pass SAT verification enabled.
+    pub fn with_verify_each_pass(mut self) -> Self {
+        self.verify_each_pass = true;
         self
     }
 }

@@ -30,19 +30,19 @@ fn dma_program() -> MicroProgram {
     ]);
     let mut p = MicroProgram::new("dma", fmt, 2);
     // 0: wait for start.
-    p.emit(
+    p.must_emit(
         &[],
         NextCtl::CondJump {
             cond: COND_START,
             target: 2,
         },
     );
-    p.emit(&[], NextCtl::Jump(0));
+    p.must_emit(&[], NextCtl::Jump(0));
     // 2: fetch the descriptor.
-    p.emit(&[("fetch", 1)], NextCtl::Seq);
+    p.must_emit(&[("fetch", 1)], NextCtl::Seq);
     // 3-4: copy loop: engine 0 reads, engine 1 writes.
-    p.emit(&[("engine", 0b0001), ("burst", 7)], NextCtl::Seq);
-    p.emit(
+    p.must_emit(&[("engine", 0b0001), ("burst", 7)], NextCtl::Seq);
+    p.must_emit(
         &[("engine", 0b0010), ("burst", 7)],
         NextCtl::CondJump {
             cond: COND_MORE,
@@ -50,7 +50,7 @@ fn dma_program() -> MicroProgram {
         },
     );
     // 5: interrupt, back to idle.
-    p.emit(&[("irq", 1)], NextCtl::Jump(0));
+    p.must_emit(&[("irq", 1)], NextCtl::Jump(0));
     p
 }
 
