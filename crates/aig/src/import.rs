@@ -1,0 +1,259 @@
+//! Netlist → AIG conversion: full designs and seeded combinational cones.
+
+use crate::graph::{Aig, AigLit};
+use crate::AigError;
+use synthir_netlist::{topo, Gate, GateKind, NetId, Netlist, ResetKind};
+
+/// A dense net → literal map (nets are small dense indices, so a flat
+/// vector beats hashing on the import hot path).
+#[derive(Clone, Debug, Default)]
+pub struct NetLits {
+    slots: Vec<Option<AigLit>>,
+}
+
+impl NetLits {
+    fn with_capacity(nets: usize) -> NetLits {
+        NetLits {
+            slots: vec![None; nets],
+        }
+    }
+
+    /// The literal of `net`, if the import assigned one.
+    pub fn get(&self, net: NetId) -> Option<AigLit> {
+        self.slots.get(net.index()).copied().flatten()
+    }
+
+    /// Whether `net` has a literal.
+    pub fn contains(&self, net: NetId) -> bool {
+        self.get(net).is_some()
+    }
+
+    fn insert(&mut self, net: NetId, l: AigLit) {
+        if net.index() >= self.slots.len() {
+            self.slots.resize(net.index() + 1, None);
+        }
+        self.slots[net.index()] = Some(l);
+    }
+
+    /// Iterates over the mapped `(net, literal)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, AigLit)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.map(|l| (NetId(i as u32), l)))
+    }
+}
+
+/// The result of importing a full netlist: the AIG plus the net → literal
+/// map callers use to carry annotations (FSM state vectors, value-set
+/// groups) across the round-trip.
+#[derive(Clone, Debug)]
+pub struct NetlistImport {
+    /// The imported graph.
+    pub aig: Aig,
+    /// A literal for every net of the source netlist that the import
+    /// visited (all driven nets, primary inputs, and flop outputs).
+    pub lits: NetLits,
+}
+
+/// Imports a whole netlist: ports become AIG input/output ports, flops
+/// become latches (reset flavour, reset cone, and init value preserved),
+/// and every combinational gate is normalized into ANDs and complemented
+/// edges — constant folding and structural hashing happen as a side effect
+/// of construction.
+///
+/// Undriven internal nets import as constant false, matching the
+/// simulator, BDD, and CNF conventions.
+///
+/// # Errors
+///
+/// Returns [`AigError::Cyclic`] if the combinational part is cyclic.
+pub fn from_netlist(nl: &Netlist) -> Result<NetlistImport, AigError> {
+    let order = topo::topological_order(nl).map_err(|e| AigError::Cyclic(e.to_string()))?;
+    let mut imp = Importer {
+        aig: Aig::new(nl.name()),
+        lits: NetLits::with_capacity(nl.num_nets()),
+        seeds: Vec::new(),
+    };
+    for p in nl.inputs() {
+        let port_lits = imp.aig.add_input_port(&p.name, p.nets.len());
+        for (&net, &lit) in p.nets.iter().zip(&port_lits) {
+            imp.lits.insert(net, lit);
+        }
+    }
+    // Latches first: their outputs are combinational sources, and
+    // `topological_order` lists them before the logic anyway.
+    for (_, g) in nl.gates() {
+        if let GateKind::Dff { reset, init } = g.kind {
+            let q = imp.aig.add_latch(reset, init);
+            imp.lits.insert(g.output, q);
+        }
+    }
+    // Undriven nets that are not primary inputs read as constant false
+    // (the simulator/BDD/CNF convention); map them eagerly so the lazy
+    // input-creation path in `net_lit` stays reserved for cone imports.
+    for (_, g) in nl.gates() {
+        for &i in &g.inputs {
+            if nl.driver(i).is_none() && !imp.lits.contains(i) {
+                imp.lits.insert(i, AigLit::FALSE);
+            }
+        }
+    }
+    for p in nl.outputs() {
+        for &n in &p.nets {
+            if nl.driver(n).is_none() && !imp.lits.contains(n) {
+                imp.lits.insert(n, AigLit::FALSE);
+            }
+        }
+    }
+    for gid in order {
+        let g = nl.gate(gid);
+        if g.kind.is_sequential() {
+            continue;
+        }
+        let lit = imp.gate_lit(g);
+        imp.lits.insert(g.output, lit);
+    }
+    // Wire latch next-state and reset cones now that every net has a
+    // literal.
+    for (_, g) in nl.gates() {
+        if let GateKind::Dff { reset, .. } = g.kind {
+            let q = imp.lits.get(g.output).expect("latch mapped");
+            let next = imp.net_lit(g.inputs[0]);
+            let reset_lit = match reset {
+                ResetKind::None => AigLit::FALSE,
+                _ => imp.net_lit(g.inputs[1]),
+            };
+            imp.aig.set_latch_next(q, next, reset_lit);
+        }
+    }
+    for p in nl.outputs() {
+        let port_lits: Vec<AigLit> = p.nets.iter().map(|&n| imp.net_lit(n)).collect();
+        imp.aig.add_output_port(&p.name, &port_lits);
+    }
+    debug_assert!(imp.seeds.is_empty(), "full imports pre-map every net");
+    Ok(NetlistImport {
+        aig: imp.aig,
+        lits: imp.lits,
+    })
+}
+
+/// The result of importing a seeded combinational cone (the CNF encoder's
+/// workload): seeded nets become free AIG inputs.
+#[derive(Clone, Debug)]
+pub struct ConeImport {
+    /// The cone-local graph (its inputs are exactly the seeds).
+    pub aig: Aig,
+    /// A literal for every net the walk visited (targets included).
+    pub lits: NetLits,
+    /// The seeded nets, paired with the input literal each received.
+    pub seeds: Vec<(NetId, AigLit)>,
+}
+
+/// Imports the combinational cone of `nl` feeding `targets`, treating every
+/// net for which `seeded` returns true as a free input (primary inputs the
+/// caller has values for, BMC state literals, bound constants). Undriven
+/// unseeded nets import as constant false. The traversal is the shared
+/// [`topo::visit_cone`] worklist walk — stack-safe at any depth.
+///
+/// # Errors
+///
+/// Returns [`AigError::UnseededFlop`] if the cone reaches the output of a
+/// flop that was not seeded — sequential elements have no combinational
+/// meaning.
+pub fn import_cone(
+    nl: &Netlist,
+    targets: &[NetId],
+    mut seeded: impl FnMut(NetId) -> bool,
+) -> Result<ConeImport, AigError> {
+    let mut imp = Importer {
+        aig: Aig::new(nl.name()),
+        lits: NetLits::with_capacity(nl.num_nets()),
+        seeds: Vec::new(),
+    };
+    // `visit_cone` deduplicates visits itself, so the `seeded` predicate
+    // alone decides what becomes a free input.
+    topo::visit_cone(nl, targets, &mut seeded, |nl, net, driver| {
+        let Some(gid) = driver else {
+            imp.lits.insert(net, AigLit::FALSE);
+            return Ok(());
+        };
+        let g = nl.gate(gid);
+        if g.kind.is_sequential() {
+            return Err(AigError::UnseededFlop);
+        }
+        let lit = imp.gate_lit(g);
+        imp.lits.insert(net, lit);
+        Ok(())
+    })?;
+    Ok(ConeImport {
+        aig: imp.aig,
+        lits: imp.lits,
+        seeds: imp.seeds,
+    })
+}
+
+/// Shared import state: the graph under construction, the net → literal
+/// map, and the log of lazily-created seed inputs.
+struct Importer {
+    aig: Aig,
+    lits: NetLits,
+    seeds: Vec<(NetId, AigLit)>,
+}
+
+impl Importer {
+    /// The literal of a net, creating (and logging) a fresh input for nets
+    /// the caller seeded but that have no literal yet.
+    fn net_lit(&mut self, net: NetId) -> AigLit {
+        if let Some(l) = self.lits.get(net) {
+            return l;
+        }
+        let l = self.aig.add_input();
+        self.lits.insert(net, l);
+        self.seeds.push((net, l));
+        l
+    }
+
+    /// Normalizes one combinational gate into the AIG.
+    ///
+    /// # Panics
+    ///
+    /// Panics on sequential gates (callers filter them).
+    fn gate_lit(&mut self, g: &Gate) -> AigLit {
+        let ins: Vec<AigLit> = g.inputs.iter().map(|&n| self.net_lit(n)).collect();
+        let aig = &mut self.aig;
+        use GateKind::*;
+        match g.kind {
+            Const0 => AigLit::FALSE,
+            Const1 => AigLit::TRUE,
+            Buf => ins[0],
+            Inv => !ins[0],
+            And2 | And3 | And4 => aig.and_all(&ins),
+            Nand2 | Nand3 | Nand4 => !aig.and_all(&ins),
+            Or2 | Or3 | Or4 => aig.or_all(&ins),
+            Nor2 | Nor3 | Nor4 => !aig.or_all(&ins),
+            Xor2 => aig.xor(ins[0], ins[1]),
+            Xnor2 => !aig.xor(ins[0], ins[1]),
+            Mux2 => aig.mux(ins[0], ins[2], ins[1]),
+            Aoi21 => {
+                let ab = aig.and(ins[0], ins[1]);
+                !aig.or(ab, ins[2])
+            }
+            Oai21 => {
+                let ab = aig.or(ins[0], ins[1]);
+                !aig.and(ab, ins[2])
+            }
+            Aoi22 => {
+                let ab = aig.and(ins[0], ins[1]);
+                let cd = aig.and(ins[2], ins[3]);
+                !aig.or(ab, cd)
+            }
+            Oai22 => {
+                let ab = aig.or(ins[0], ins[1]);
+                let cd = aig.or(ins[2], ins[3]);
+                !aig.and(ab, cd)
+            }
+            Dff { .. } => unreachable!("sequential gates are handled by the caller"),
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Local AIG rewriting: rebuild-with-rules plus 2-input-cut NPN
+//! resynthesis, and the dangling-node sweep (`compact`).
+//!
+//! The rewriter re-derives every live AND through [`Aig::and`] in a fresh
+//! graph, so the construction-time one-/two-level rules and hash-consing
+//! get a second chance after upstream merges have changed fanins. On top
+//! of that, each rebuilt node whose two-level neighbourhood spans at most
+//! two distinct leaf variables is replaced by the *canonical minimal*
+//! implementation of its 2-input function (one of the 16 NPN-classified
+//! two-variable functions): constants, single literals, one AND, or an
+//! XOR/XNOR pair — never more nodes than the structural form it replaces.
+
+use crate::graph::{Aig, AigLit, AigNode};
+
+/// The outcome of a rebuild-style pass: the new graph plus the old-node →
+/// new-literal map used to carry kept literals (annotations) across.
+#[derive(Clone, Debug)]
+pub struct Rebuilt {
+    /// The rebuilt graph.
+    pub aig: Aig,
+    /// `map[node]` is the literal the old node's plain literal became.
+    /// Dead, un-kept nodes map to [`AigLit::FALSE`] and must not be read.
+    pub map: Vec<AigLit>,
+}
+
+impl Rebuilt {
+    /// Translates an old-graph literal into the rebuilt graph.
+    pub fn lit(&self, l: AigLit) -> AigLit {
+        let m = self.map[l.node() as usize];
+        m.with_complement(m.is_complemented() ^ l.is_complemented())
+    }
+
+    /// Chains a second rebuild: the result maps original literals straight
+    /// into `next`'s graph.
+    pub fn then(self, next: Rebuilt) -> Rebuilt {
+        Rebuilt {
+            map: self.map.iter().map(|&l| next.lit(l)).collect(),
+            aig: next.aig,
+        }
+    }
+}
+
+/// Rebuilds `aig`, re-running the construction rules and the 2-cut NPN
+/// minimization on every live AND, to a fixpoint (bounded at four rounds —
+/// in practice one or two suffice). `keep` lists extra literals that must
+/// stay mapped (annotation carriers). Returns the rebuilt graph and the
+/// composed literal map.
+pub fn rewrite(aig: &Aig, keep: &[AigLit]) -> Rebuilt {
+    let mut current = rebuild(aig, keep, true);
+    // Further rounds only pay off while the previous one shrank the graph
+    // — the common mid-flow case (a graph already normalized at import)
+    // stops after the single pass above.
+    let mut prev_count = aig.and_count();
+    for _ in 0..3 {
+        if current.aig.and_count() >= prev_count {
+            break;
+        }
+        prev_count = current.aig.and_count();
+        let keep2: Vec<AigLit> = keep.iter().map(|&l| current.lit(l)).collect();
+        let next = rebuild(&current.aig, &keep2, true);
+        current = Rebuilt {
+            map: compose(&current.map, &next),
+            aig: next.aig,
+        };
+    }
+    current
+}
+
+/// Rebuilds `aig` dropping dead nodes, with no resynthesis beyond the
+/// construction rules — the explicit dangling-node sweep.
+pub fn compact(aig: &Aig, keep: &[AigLit]) -> Rebuilt {
+    rebuild(aig, keep, false)
+}
+
+fn compose(first: &[AigLit], then: &Rebuilt) -> Vec<AigLit> {
+    first.iter().map(|&l| then.lit(l)).collect()
+}
+
+/// One rebuild round: copies inputs/latches, re-derives live ANDs (with the
+/// NPN step when `npn` is set), and rewires latches and output ports.
+fn rebuild(aig: &Aig, keep: &[AigLit], npn: bool) -> Rebuilt {
+    let live = aig.live_marks(keep);
+    let mut out = Aig::new(aig.name());
+    let mut map: Vec<AigLit> = vec![AigLit::FALSE; aig.node_count()];
+    // Ports first (interface preserved), then stray inputs in node order.
+    let mut ported: Vec<bool> = vec![false; aig.node_count()];
+    for p in aig.input_ports() {
+        let lits = out.add_input_port(&p.name, p.lits.len());
+        for (&old, &new) in p.lits.iter().zip(&lits) {
+            map[old.node() as usize] = new;
+            ported[old.node() as usize] = true;
+        }
+    }
+    for (i, n) in aig.nodes().iter().enumerate() {
+        if matches!(n, AigNode::Input) && !ported[i] {
+            map[i] = out.add_input();
+        }
+    }
+    for l in aig.latches() {
+        if live[l.output as usize] {
+            map[l.output as usize] = out.add_latch(l.reset, l.init);
+        }
+    }
+    let trans = |map: &[AigLit], l: AigLit| -> AigLit {
+        let m = map[l.node() as usize];
+        m.with_complement(m.is_complemented() ^ l.is_complemented())
+    };
+    for (i, n) in aig.nodes().iter().enumerate() {
+        if let AigNode::And(a, b) = *n {
+            if !live[i] {
+                continue;
+            }
+            let (na, nb) = (trans(&map, a), trans(&map, b));
+            map[i] = if npn {
+                and_npn(&mut out, na, nb)
+            } else {
+                out.and(na, nb)
+            };
+        }
+    }
+    for old in aig.latches() {
+        if !live[old.output as usize] {
+            continue;
+        }
+        let q = map[old.output as usize];
+        out.set_latch_next(q, trans(&map, old.next), trans(&map, old.reset_lit));
+    }
+    for p in aig.output_ports() {
+        let lits: Vec<AigLit> = p.lits.iter().map(|&l| trans(&map, l)).collect();
+        out.add_output_port(&p.name, &lits);
+    }
+    Rebuilt { aig: out, map }
+}
+
+/// `and(a, b)` with the 2-input-cut NPN step: if the two-level
+/// neighbourhood of the conjunction spans at most two distinct leaf nodes,
+/// emit the canonical minimal form of its 2-variable function instead of
+/// the structural conjunction.
+fn and_npn(g: &mut Aig, a: AigLit, b: AigLit) -> AigLit {
+    // Collect the leaf nodes of the 2-level cut: a literal's own node when
+    // it is not an AND, its fanin nodes otherwise.
+    let mut leaves: [u32; 4] = [u32::MAX; 4];
+    let mut n_leaves = 0usize;
+    let add = |leaves: &mut [u32; 4], n_leaves: &mut usize, node: u32| {
+        if !leaves[..*n_leaves].contains(&node) {
+            if *n_leaves == 4 {
+                return false;
+            }
+            leaves[*n_leaves] = node;
+            *n_leaves += 1;
+        }
+        true
+    };
+    for l in [a, b] {
+        match g.nodes()[l.node() as usize] {
+            AigNode::And(x, y) => {
+                if !add(&mut leaves, &mut n_leaves, x.node())
+                    || !add(&mut leaves, &mut n_leaves, y.node())
+                {
+                    return g.and(a, b);
+                }
+            }
+            _ => {
+                if !add(&mut leaves, &mut n_leaves, l.node()) {
+                    return g.and(a, b);
+                }
+            }
+        }
+    }
+    if n_leaves > 2 {
+        return g.and(a, b);
+    }
+    // Degenerate cuts (constants in the neighbourhood) still work: the
+    // truth-table words below treat them as ordinary variables and the
+    // construction rules collapse the result.
+    let (x, y) = (leaves[0], if n_leaves == 2 { leaves[1] } else { leaves[0] });
+    const WX: u8 = 0b1010;
+    const WY: u8 = 0b1100;
+    let word = |l: AigLit| -> u8 {
+        let base = match g.nodes()[l.node() as usize] {
+            AigNode::And(p, q) => {
+                let wp =
+                    if p.node() == x { WX } else { WY } ^ if p.is_complemented() { 0xF } else { 0 };
+                let wq =
+                    if q.node() == x { WX } else { WY } ^ if q.is_complemented() { 0xF } else { 0 };
+                wp & wq
+            }
+            AigNode::Const0 => 0,
+            _ => {
+                if l.node() == x {
+                    WX
+                } else {
+                    WY
+                }
+            }
+        } & 0xF;
+        if l.is_complemented() {
+            !base & 0xF
+        } else {
+            base
+        }
+    };
+    // A constant leaf (node 0) contributes the all-zero column via the
+    // `AigNode::Const0` arm above, so truth tables that would need that
+    // column active simply cannot arise — the match below stays total.
+    let tt = word(a) & word(b);
+    let lx = AigLit::new(x, false);
+    let ly = AigLit::new(y, false);
+    match tt {
+        0x0 => AigLit::FALSE,
+        0xF => AigLit::TRUE,
+        0xA => lx,
+        0x5 => !lx,
+        0xC => ly,
+        0x3 => !ly,
+        0x8 => g.and(lx, ly),
+        0x2 => g.and(lx, !ly),
+        0x4 => g.and(!lx, ly),
+        0x1 => g.and(!lx, !ly),
+        0x7 => !g.and(lx, ly),
+        0xD => !g.and(lx, !ly),
+        0xB => !g.and(!lx, ly),
+        0xE => !g.and(!lx, !ly),
+        0x6 => g.xor(lx, ly),
+        0x9 => !g.xor(lx, ly),
+        _ => unreachable!("4-bit truth table"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrite_collapses_structural_xor() {
+        // Build XOR the long way (4 ANDs via NANDs) and let the rewriter
+        // find the 3-node form (or better).
+        let mut g = Aig::new("t");
+        let a = g.add_input_port("a", 1)[0];
+        let b = g.add_input_port("b", 1)[0];
+        let nab = !g.and(a, b);
+        let x = g.and(a, nab);
+        let y = g.and(b, nab);
+        let res = g.or(x, y); // = a ^ b
+        g.add_output_port("y", &[res]);
+        let r = rewrite(&g, &[]);
+        assert!(r.aig.and_count() <= 3, "{} ANDs", r.aig.and_count());
+        // Function preserved.
+        let check = |g: &Aig, out: AigLit| {
+            let vals = g.simulate(|n| {
+                let i = g.input_nodes().iter().position(|&v| v == n).unwrap();
+                [0xAAAA_AAAA_AAAA_AAAAu64, 0xCCCC_CCCC_CCCC_CCCC][i]
+            });
+            Aig::lit_value(&vals, out) & 0xF
+        };
+        let old = check(&g, res);
+        let new = check(&r.aig, r.aig.output_ports()[0].lits[0]);
+        assert_eq!(old, new);
+        assert_eq!(old, 0b0110);
+    }
+
+    #[test]
+    fn compact_drops_dead_nodes_and_latches() {
+        use synthir_netlist::ResetKind;
+        let mut g = Aig::new("t");
+        let a = g.add_input_port("a", 1)[0];
+        let b = g.add_input_port("b", 1)[0];
+        let _dead = g.and(a, b);
+        let dead_latch = g.add_latch(ResetKind::None, false);
+        g.set_latch_next(dead_latch, a, AigLit::FALSE);
+        let keep = g.and(!a, !b);
+        g.add_output_port("y", &[keep]);
+        let r = compact(&g, &[]);
+        assert_eq!(r.aig.and_count(), 1);
+        assert!(r.aig.latches().is_empty() || r.aig.latches().len() < g.latches().len());
+    }
+
+    #[test]
+    fn rewrite_preserves_interface_and_latches() {
+        use synthir_netlist::ResetKind;
+        let mut g = Aig::new("t");
+        let d = g.add_input_port("d", 2);
+        let rst = g.add_input_port("rst", 1)[0];
+        let q = g.add_latch(ResetKind::Sync, true);
+        let nx = g.and(d[0], d[1]);
+        g.set_latch_next(q, nx, rst);
+        g.add_output_port("q", &[q]);
+        let r = rewrite(&g, &[]);
+        assert_eq!(r.aig.input_ports().len(), 2);
+        assert_eq!(r.aig.input_ports()[0].name, "d");
+        assert_eq!(r.aig.latches().len(), 1);
+        let l = r.aig.latches()[0];
+        assert_eq!(l.reset, ResetKind::Sync);
+        assert!(l.init);
+    }
+}

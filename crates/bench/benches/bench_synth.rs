@@ -1,0 +1,136 @@
+//! End-to-end `compile` benchmark: the AIG optimization pipeline vs the
+//! original (pre-AIG) pass order, on the shipped `benchmarks/` controllers.
+//!
+//! Each KISS2 controller is lowered in the table coding style (the paper's
+//! recommended generator output) and compiled twice — once with
+//! `SynthOptions::default()` (AIG core) and once with `.without_aig()`
+//! (the seed pass order: `const_fold`/`strash` fixpoint loops). Medians
+//! and the resulting areas are written to `BENCH_synth.json` at the
+//! workspace root so the compile-time trajectory is tracked across PRs
+//! alongside `BENCH_espresso.json`.
+//!
+//! Run with `cargo bench --bench bench_synth` (add `-- --quick` for the CI
+//! smoke pass; the JSON is written either way).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+use synthir_core::format_conv::from_kiss2;
+use synthir_netlist::Library;
+use synthir_rtl::elaborate;
+use synthir_rtl::elaborate::Elaborated;
+use synthir_synth::{compile, SynthOptions};
+
+fn controllers() -> Vec<(String, Elaborated)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks");
+    let mut out = Vec::new();
+    for name in ["traffic_light", "seq_detect", "elevator", "dma_ctrl"] {
+        let path = format!("{dir}/{name}.kiss2");
+        let text = std::fs::read_to_string(&path).expect("shipped benchmark exists");
+        let spec = from_kiss2(name, &text).expect("shipped benchmark parses");
+        let module = spec.to_table_module(true);
+        let elab = elaborate(&module).expect("benchmark elaborates");
+        out.push((name.to_string(), elab));
+    }
+    // The flexible (runtime-programmable) lowerings are the heavyweight
+    // case: config flop arrays, write decoders, and read mux trees make
+    // the elaborated netlist an order of magnitude larger — which is
+    // where the front-half cleanup cost actually lives.
+    for name in ["elevator", "dma_ctrl"] {
+        let path = format!("{dir}/{name}.kiss2");
+        let text = std::fs::read_to_string(&path).expect("shipped benchmark exists");
+        let spec = from_kiss2(name, &text).expect("shipped benchmark parses");
+        let module = spec.to_programmable_module();
+        let elab = elaborate(&module).expect("benchmark elaborates");
+        out.push((format!("{name}_prog"), elab));
+    }
+    out
+}
+
+fn median_time(rounds: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let mut samples: Vec<Duration> = (0..rounds)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let quick =
+        std::env::args().any(|a| a == "--quick") || std::env::var_os("QUICK_BENCH").is_some();
+    let lib = Library::vt90();
+    let aig_opts = SynthOptions::default();
+    let seed_opts = SynthOptions::default().without_aig();
+    let mut g = c.benchmark_group("bench_synth");
+    g.sample_size(if quick { 3 } else { 10 });
+
+    let mut rows = Vec::new();
+    for (name, elab) in controllers() {
+        g.bench_function(format!("{name}/aig"), |b| {
+            b.iter(|| compile(&elab, &lib, &aig_opts).unwrap())
+        });
+        g.bench_function(format!("{name}/seed"), |b| {
+            b.iter(|| compile(&elab, &lib, &seed_opts).unwrap())
+        });
+        let rounds = if quick { 3 } else { 9 };
+        let r_aig = compile(&elab, &lib, &aig_opts).unwrap();
+        let r_seed = compile(&elab, &lib, &seed_opts).unwrap();
+        let t_aig = median_time(rounds, || {
+            std::hint::black_box(compile(&elab, &lib, &aig_opts).unwrap());
+        });
+        let t_seed = median_time(rounds, || {
+            std::hint::black_box(compile(&elab, &lib, &seed_opts).unwrap());
+        });
+        let speedup = t_seed.as_secs_f64() / t_aig.as_secs_f64();
+        println!(
+            "{name}: aig {:.3} ms ({} gates, {:.1} µm²), seed {:.3} ms ({} gates, {:.1} µm²), speedup {speedup:.2}x",
+            t_aig.as_secs_f64() * 1e3,
+            r_aig.netlist.num_gates(),
+            r_aig.area.total(),
+            t_seed.as_secs_f64() * 1e3,
+            r_seed.netlist.num_gates(),
+            r_seed.area.total(),
+        );
+        rows.push((
+            name,
+            t_aig,
+            t_seed,
+            speedup,
+            r_aig.netlist.num_gates(),
+            r_seed.netlist.num_gates(),
+            r_aig.area.total(),
+            r_seed.area.total(),
+        ));
+    }
+    g.finish();
+
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"synth::flow::compile: AIG pipeline vs original (pre-AIG) pass order\",\n  \"unit\": \"ms (median wall-clock)\",\n  \"workloads\": {\n",
+    );
+    for (i, (name, t_aig, t_seed, speedup, g_aig, g_seed, a_aig, a_seed)) in rows.iter().enumerate()
+    {
+        json.push_str(&format!(
+            "    \"{name}\": {{\"aig_ms\": {:.3}, \"seed_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"aig_gates\": {g_aig}, \"seed_gates\": {g_seed}, \"aig_area_um2\": {a_aig:.1}, \
+             \"seed_area_um2\": {a_seed:.1}}}{}\n",
+            t_aig.as_secs_f64() * 1e3,
+            t_seed.as_secs_f64() * 1e3,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synth.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -25,7 +25,14 @@ fn dispatch(cmd: &str, raw: &[String]) -> Result<String, CliError> {
     match cmd {
         "fsm" => fsm::run(&Args::parse(
             raw,
-            &["report", "no-synth", "verify-passes"],
+            &[
+                "report",
+                "json",
+                "no-synth",
+                "verify-passes",
+                "sat-sweep",
+                "no-aig",
+            ],
             &["style", "o", "clock"],
         )?),
         "pla" => pla::run(&Args::parse(raw, &["stats", "echo"], &["o"])?),

@@ -26,8 +26,12 @@ options:
                   programmable
   -o <file>       write structural Verilog to <file> ('-' for stdout)
   --report        print the area/timing/power report
+  --json          print the synthesis result (cells, area, timing, pass
+                  statistics) as JSON instead of prose
   --clock <ns>    clock period for the slack line (default 2.0)
   --no-synth      elaborate only; skip the synthesis flow
+  --sat-sweep     enable SAT sweeping inside the AIG cleanup pass
+  --no-aig        use the original (pre-AIG) pass order
   --verify-passes SAT-check the netlist after every synthesis pass against
                   its predecessor (slow; debug aid)
 ";
@@ -86,16 +90,24 @@ pub fn run(args: &Args) -> CmdResult {
     let spec = from_kiss2(design_name(path), &text)?;
     let module = style.lower(&spec);
 
+    let json = args.flag("json");
+    if json && args.flag("no-synth") {
+        return Err(CliError(
+            "--json reports the synthesis result; drop --no-synth".into(),
+        ));
+    }
     let mut out = String::new();
-    out.push_str(&format!(
-        "{}: {} states ({} reachable), {} inputs, {} outputs → {}\n",
-        spec.name(),
-        spec.state_count(),
-        spec.reachable_states().len(),
-        spec.num_inputs(),
-        spec.num_outputs(),
-        module.name(),
-    ));
+    if !json {
+        out.push_str(&format!(
+            "{}: {} states ({} reachable), {} inputs, {} outputs → {}\n",
+            spec.name(),
+            spec.state_count(),
+            spec.reachable_states().len(),
+            spec.num_inputs(),
+            spec.num_outputs(),
+            module.name(),
+        ));
+    }
 
     let elab = elaborate(&module)?;
     let lib = Library::vt90();
@@ -123,8 +135,29 @@ pub fn run(args: &Args) -> CmdResult {
         if args.flag("verify-passes") {
             sopts.verify_each_pass = true;
         }
+        if args.flag("sat-sweep") {
+            sopts.sat_sweep = true;
+        }
+        if args.flag("no-aig") {
+            sopts.aig = false;
+        }
         let r = compile(&elab, &lib, &sopts)?;
-        if args.flag("report") {
+        if json {
+            out.push_str(&format!(
+                "{{\n  \"design\": \"{}\",\n  \"states\": {},\n  \"reachable_states\": {},\n  \
+                 \"gates\": {},\n  \"flops\": {},\n  \"area_um2\": {:.2},\n  \
+                 \"area_sequential_um2\": {:.2},\n  \"critical_ns\": {:.4},\n  \"passes\": {}\n}}\n",
+                crate::report::json_escape(module.name()),
+                spec.state_count(),
+                spec.reachable_states().len(),
+                r.netlist.num_gates(),
+                r.netlist.flop_count(),
+                r.area.total(),
+                r.area.sequential,
+                r.timing.critical_delay,
+                crate::report::pass_stats_json(&r.stats),
+            ));
+        } else if args.flag("report") {
             out.push_str(&render(module.name(), &r, &lib, &report_opts));
         } else {
             out.push_str(&format!(
@@ -228,6 +261,44 @@ mod tests {
         .unwrap();
         let out = run(&args).unwrap();
         assert!(out.contains("synthesized"), "{out}");
+    }
+
+    #[test]
+    fn json_output_carries_pass_stats() {
+        let path = write_temp("cli_fsm_json.kiss2", TOGGLE);
+        let args = Args::parse(
+            &[path.as_str(), "--json"],
+            &["report", "json", "no-synth", "sat-sweep", "no-aig"],
+            &["style", "o", "clock"],
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        for needle in [
+            "\"design\"",
+            "\"gates\"",
+            "\"area_um2\"",
+            "\"passes\"",
+            "\"aig_opt\"",
+            "\"rewrites\"",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in {out}");
+        }
+        // The sweep + seed-pipeline flags parse and run too.
+        let args = Args::parse(
+            &[path.as_str(), "--json", "--sat-sweep"],
+            &["report", "json", "no-synth", "sat-sweep", "no-aig"],
+            &["style", "o", "clock"],
+        )
+        .unwrap();
+        assert!(run(&args).unwrap().contains("\"passes\""));
+        let args = Args::parse(
+            &[path.as_str(), "--json", "--no-aig"],
+            &["report", "json", "no-synth", "sat-sweep", "no-aig"],
+            &["style", "o", "clock"],
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("\"const_fold\""), "{out}");
     }
 
     #[test]

@@ -45,15 +45,53 @@ pub fn render(title: &str, r: &CompileResult, lib: &Library, opts: &ReportOption
             "VIOLATED"
         }
     );
-    if !r.stats.is_empty() {
-        let passes: Vec<String> = r
-            .stats
-            .iter()
-            .map(|(name, n)| format!("{name}:{n}"))
-            .collect();
-        let _ = writeln!(s, "passes   : {}", passes.join(" "));
+    for (i, p) in r.stats.iter().enumerate() {
+        let head = if i == 0 { "passes   :" } else { "          " };
+        let _ = writeln!(
+            s,
+            "{head} {:<16} {:>4} rewrites  {:>5} → {:<5} gates  {:>8.3} ms",
+            p.name,
+            p.rewrites,
+            p.gates_before,
+            p.gates_after,
+            p.elapsed.as_secs_f64() * 1e3
+        );
     }
     s
+}
+
+/// Escapes a string for embedding in a JSON string literal (names derive
+/// from user-supplied file paths, which may contain quotes or backslashes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders pass statistics as a JSON array (for `synthir fsm --json`).
+pub fn pass_stats_json(stats: &[synthir_synth::PassStat]) -> String {
+    let rows: Vec<String> = stats
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"name\": \"{}\", \"rewrites\": {}, \"gates_before\": {}, \
+                 \"gates_after\": {}, \"ms\": {:.3}}}",
+                p.name,
+                p.rewrites,
+                p.gates_before,
+                p.gates_after,
+                p.elapsed.as_secs_f64() * 1e3
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
 }
 
 /// Renders the netlist-only statistics (gates, flops, area, power) — the

@@ -214,3 +214,44 @@ fn ucode_benchmark_assembles_and_synthesizes() {
     assert!(out.contains("instructions"), "{out}");
     assert!(out.contains("area"), "{out}");
 }
+
+/// The AIG pipeline result on every shipped controller is proved
+/// equivalent to the original (pre-AIG) pass order by the SAT engine, with
+/// equal-or-smaller area — the acceptance bar for the AIG optimization
+/// core — and the verified flow (`verify_each_pass`) stays green with the
+/// AIG passes (SAT sweeping included) in the loop.
+#[test]
+fn aig_pipeline_matches_seed_pipeline_on_all_benchmarks() {
+    use synthir_core::format_conv::from_kiss2;
+    use synthir_netlist::Library;
+    use synthir_rtl::elaborate;
+    use synthir_sim::{check_seq_equiv, EquivEngine, EquivOptions};
+    use synthir_synth::{compile, SynthOptions};
+
+    let lib = Library::vt90();
+    for path in kiss2_benchmarks() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = from_kiss2("bench", &text).unwrap();
+        let elab = elaborate(&spec.to_table_module(true)).unwrap();
+        let r_aig = compile(&elab, &lib, &SynthOptions::default()).unwrap();
+        let r_seed = compile(&elab, &lib, &SynthOptions::default().without_aig()).unwrap();
+        let mut eopts = EquivOptions::new();
+        eopts.engine = EquivEngine::Sat;
+        let res = check_seq_equiv(&r_aig.netlist, &r_seed.netlist, &eopts).unwrap();
+        assert!(res.is_equivalent(), "{path}: pipelines diverge");
+        assert!(
+            r_aig.area.total() <= r_seed.area.total() * 1.001,
+            "{path}: aig {:.1} µm² vs seed {:.1} µm²",
+            r_aig.area.total(),
+            r_seed.area.total()
+        );
+        // Verified flows: every AIG pass is SAT-checked against its
+        // predecessor, with and without sweeping.
+        let verified = SynthOptions::default().with_verify_each_pass();
+        compile(&elab, &lib, &verified).unwrap();
+        let swept = SynthOptions::default()
+            .with_sat_sweep()
+            .with_verify_each_pass();
+        compile(&elab, &lib, &swept).unwrap();
+    }
+}

@@ -346,6 +346,32 @@ impl Netlist {
         }
     }
 
+    /// Rewires every use of each key net (gate inputs and output ports) to
+    /// its mapped net in one sweep — the bulk form of
+    /// [`Netlist::replace_net_uses`], used by passes that accumulate many
+    /// merges and apply them at once instead of rescanning the netlist per
+    /// merge. Drivers of the remapped nets are left in place (dead ones are
+    /// removed by [`Netlist::sweep`]).
+    pub fn remap_uses(&mut self, map: &HashMap<NetId, NetId>) {
+        if map.is_empty() {
+            return;
+        }
+        for g in self.gates.iter_mut().flatten() {
+            for inp in &mut g.inputs {
+                if let Some(&n) = map.get(inp) {
+                    *inp = n;
+                }
+            }
+        }
+        for p in &mut self.outputs {
+            for n in &mut p.nets {
+                if let Some(&m) = map.get(n) {
+                    *n = m;
+                }
+            }
+        }
+    }
+
     /// Rewrites one gate in place (same output net, new kind/inputs).
     ///
     /// # Panics

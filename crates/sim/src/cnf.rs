@@ -9,14 +9,20 @@
 //! solver for a distinguishing assignment. UNSAT is a proof of equivalence;
 //! SAT hands back a concrete counterexample.
 //!
-//! [`CnfEncoder`] is deliberately small: fresh variables, constants, the
-//! gate connectives, and an iterative (stack-safe) cone walk
-//! [`CnfEncoder::encode_cone`]. Sequential checks unroll the netlist
-//! cycle-by-cycle (bounded model checking) in `equiv`, reusing the same
-//! cone walk with flop outputs seeded as state literals.
+//! [`CnfEncoder::encode_cone`] does not clause-template per [`GateKind`]:
+//! the cone is first normalized into a [`synthir_aig::Aig`] (seeded nets
+//! become free AIG inputs), whose construction-time hashing and folding
+//! shrink the problem, and the surviving AND nodes emit exactly three
+//! clauses each. Inverters, buffers, and the NAND/NOR/XNOR/AOI flavours
+//! vanish into complemented edges — so the miters the equivalence checker
+//! solves are measurably smaller than per-gate templates would produce.
+//! Sequential checks unroll the netlist cycle-by-cycle (bounded model
+//! checking) in `equiv`, reusing the same cone import with flop outputs
+//! seeded as state literals.
 
 use crate::SimError;
 use std::collections::HashMap;
+use synthir_aig::{import_cone, AigError, AigNode};
 use synthir_netlist::{GateKind, NetId, Netlist};
 use synthir_sat::{Lit, Solver};
 
@@ -160,10 +166,12 @@ impl CnfEncoder {
     /// `map` (which seeds primary inputs, bound constants and — for BMC —
     /// flop outputs) with a literal for every visited net.
     ///
-    /// The walk is an explicit worklist, not recursion, so arbitrarily deep
-    /// netlists (e.g. long buffer/inverter chains) cannot overflow the
-    /// stack. Undriven, unseeded nets encode as constant zero, matching the
-    /// simulator and the BDD engine.
+    /// The cone is normalized into an AIG first (via the shared
+    /// [`synthir_netlist::topo::visit_cone`] walk — iterative, so
+    /// arbitrarily deep netlists cannot overflow the stack), then each
+    /// surviving AND node emits one three-clause Tseitin block. Undriven,
+    /// unseeded nets encode as constant zero, matching the simulator and
+    /// the BDD engine.
     ///
     /// # Errors
     ///
@@ -175,33 +183,40 @@ impl CnfEncoder {
         map: &mut HashMap<NetId, Lit>,
         targets: &[NetId],
     ) -> Result<(), SimError> {
-        let mut stack: Vec<(NetId, bool)> = targets.iter().map(|&n| (n, false)).collect();
-        while let Some((net, expanded)) = stack.pop() {
-            if map.contains_key(&net) {
-                continue;
-            }
-            let Some(g) = nl.driver(net) else {
-                map.insert(net, self.constant(false));
-                continue;
-            };
-            let gate = nl.gate(g);
-            if gate.kind.is_sequential() {
-                return Err(SimError::InvalidNetlist(
-                    "combinational cone reaches an unseeded flop output".into(),
-                ));
-            }
-            if expanded {
-                let ins: Vec<Lit> = gate.inputs.iter().map(|i| map[i]).collect();
-                let lit = self.gate(gate.kind, &ins);
-                map.insert(net, lit);
+        let cone = import_cone(nl, targets, |n| map.contains_key(&n)).map_err(|e| match e {
+            AigError::UnseededFlop => SimError::InvalidNetlist(
+                "combinational cone reaches an unseeded flop output".into(),
+            ),
+            AigError::Cyclic(msg) => SimError::InvalidNetlist(msg),
+        })?;
+        // One solver literal per AIG node: seeds take the caller's
+        // literals, each AND takes a fresh variable plus three clauses.
+        let mut node_lit: Vec<Option<Lit>> = vec![None; cone.aig.node_count()];
+        node_lit[0] = Some(self.constant(false));
+        for &(net, lit) in &cone.seeds {
+            node_lit[lit.node() as usize] = Some(map[&net]);
+        }
+        let lit_of = |node_lit: &[Option<Lit>], l: synthir_aig::AigLit| -> Lit {
+            let base = node_lit[l.node() as usize].expect("fanins precede");
+            if l.is_complemented() {
+                !base
             } else {
-                stack.push((net, true));
-                for &i in &gate.inputs {
-                    if !map.contains_key(&i) {
-                        stack.push((i, false));
-                    }
-                }
+                base
             }
+        };
+        for (i, node) in cone.aig.nodes().iter().enumerate() {
+            if let AigNode::And(a, b) = *node {
+                let la = lit_of(&node_lit, a);
+                let lb = lit_of(&node_lit, b);
+                let t = self.fresh();
+                self.solver.add_clause(&[!t, la]);
+                self.solver.add_clause(&[!t, lb]);
+                self.solver.add_clause(&[t, !la, !lb]);
+                node_lit[i] = Some(t);
+            }
+        }
+        for (net, alit) in cone.lits.iter() {
+            map.insert(net, lit_of(&node_lit, alit));
         }
         Ok(())
     }

@@ -273,9 +273,10 @@ pub fn check_comb_equiv(
 
 /// Builds the BDD of a net's combinational cone.
 ///
-/// The cone walk is an explicit worklist, not recursion: deep netlists
-/// (e.g. a 10k-gate inverter chain) would overflow the call stack with a
-/// per-gate recursive descent.
+/// The traversal is the shared [`synthir_netlist::topo::visit_cone`]
+/// worklist walk (also behind the CNF/AIG cone imports), not recursion:
+/// deep netlists (e.g. a 10k-gate inverter chain) would overflow the call
+/// stack with a per-gate recursive descent.
 fn net_bdd(
     nl: &Netlist,
     bdd: &mut Bdd,
@@ -283,40 +284,38 @@ fn net_bdd(
     cache: &mut HashMap<NetId, BddRef>,
     net: NetId,
 ) -> BddRef {
-    let mut stack: Vec<(NetId, bool)> = vec![(net, false)];
-    while let Some((n, expanded)) = stack.pop() {
-        if cache.contains_key(&n) {
-            continue;
-        }
-        if let Some(&v) = input_vars.get(&n) {
-            let r = bdd.var(v);
-            cache.insert(n, r);
-            continue;
-        }
-        let Some(g) = nl.driver(n) else {
-            // Undriven non-input net: constant 0.
-            cache.insert(n, BddRef::ZERO);
-            continue;
-        };
-        let gate = nl.gate(g);
-        assert!(
-            !gate.kind.is_sequential(),
-            "combinational equivalence on sequential netlist"
-        );
-        if expanded {
-            let ins: Vec<BddRef> = gate.inputs.iter().map(|i| cache[i]).collect();
-            let kind = gate.kind;
-            let r = apply_gate(bdd, kind, &ins);
-            cache.insert(n, r);
-        } else {
-            stack.push((n, true));
-            for &i in &gate.inputs {
-                if !cache.contains_key(&i) {
-                    stack.push((i, false));
-                }
+    // The cache doubles as the seeded-set (it memoizes across the per-bit
+    // calls), so both closures need it: share it through a RefCell.
+    let cell = std::cell::RefCell::new(std::mem::take(cache));
+    let result: Result<(), std::convert::Infallible> = synthir_netlist::topo::visit_cone(
+        nl,
+        &[net],
+        |n| cell.borrow().contains_key(&n),
+        |nl, n, driver| {
+            let mut cache = cell.borrow_mut();
+            if let Some(&v) = input_vars.get(&n) {
+                let r = bdd.var(v);
+                cache.insert(n, r);
+                return Ok(());
             }
-        }
-    }
+            let Some(g) = driver else {
+                // Undriven non-input net: constant 0.
+                cache.insert(n, BddRef::ZERO);
+                return Ok(());
+            };
+            let gate = nl.gate(g);
+            assert!(
+                !gate.kind.is_sequential(),
+                "combinational equivalence on sequential netlist"
+            );
+            let ins: Vec<BddRef> = gate.inputs.iter().map(|i| cache[i]).collect();
+            let r = apply_gate(bdd, gate.kind, &ins);
+            cache.insert(n, r);
+            Ok(())
+        },
+    );
+    let Ok(()) = result;
+    *cache = cell.into_inner();
     cache[&net]
 }
 

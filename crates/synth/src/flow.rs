@@ -3,8 +3,26 @@
 use crate::options::SynthOptions;
 use crate::timing::{sta, TimingReport};
 use crate::SynthError;
+use std::time::{Duration, Instant};
 use synthir_netlist::{AreaReport, Library, Netlist};
 use synthir_rtl::elaborate::{Elaborated, FsmNets, NetGroupValues};
+
+/// One pass's record in [`CompileResult::stats`]: what ran, how much it
+/// changed, and what it cost.
+#[derive(Clone, Debug)]
+pub struct PassStat {
+    /// Pass name (`aig_opt`, `const_fold`, `resynthesize`, …).
+    pub name: &'static str,
+    /// Number of rewrites/merges/folds the pass applied (pass-specific
+    /// unit; 0 for a pass that ran but changed nothing).
+    pub rewrites: usize,
+    /// Live gate count entering the pass.
+    pub gates_before: usize,
+    /// Live gate count leaving the pass.
+    pub gates_after: usize,
+    /// Wall-clock time the pass took.
+    pub elapsed: Duration,
+}
 
 /// The output of a [`compile`] run.
 #[derive(Clone, Debug)]
@@ -15,8 +33,8 @@ pub struct CompileResult {
     pub area: AreaReport,
     /// Static timing of the result.
     pub timing: TimingReport,
-    /// Pass statistics (pass name, number of rewrites).
-    pub stats: Vec<(&'static str, usize)>,
+    /// Structured per-pass statistics, in execution order.
+    pub stats: Vec<PassStat>,
 }
 
 /// Compiles an elaborated module: the equivalent of a `compile` run of the
@@ -42,7 +60,36 @@ pub fn compile(
     )
 }
 
+/// Records one pass into `stats`, timing it and sampling gate counts.
+fn run_pass(
+    stats: &mut Vec<PassStat>,
+    nl: &mut Netlist,
+    name: &'static str,
+    f: impl FnOnce(&mut Netlist) -> usize,
+) {
+    let gates_before = nl.num_gates();
+    let t0 = Instant::now();
+    let rewrites = f(nl);
+    stats.push(PassStat {
+        name,
+        rewrites,
+        gates_before,
+        gates_after: nl.num_gates(),
+        elapsed: t0.elapsed(),
+    });
+}
+
 /// Compiles a raw netlist with optional FSM metadata and annotations.
+///
+/// With [`SynthOptions::aig`] (the default) the front half of the flow
+/// runs on the structurally-hashed And-Inverter Graph ([`crate::aigopt`]):
+/// one graph-construction pass — with local rewriting and the optional SAT
+/// sweep ([`SynthOptions::sat_sweep`]) — replaces the `const_fold` +
+/// `strash` fixpoint loops before the netlist is handed to FSM
+/// re-encoding, state propagation, resynthesis, and technology mapping;
+/// the mapped netlist then gets one extra single-sweep
+/// [`crate::strash::strash`] over the post-techmap gates. With `aig` off
+/// the original pass order is preserved verbatim for A/B comparison.
 ///
 /// # Errors
 ///
@@ -56,28 +103,64 @@ pub fn compile_netlist(
 ) -> Result<CompileResult, SynthError> {
     nl.validate()
         .map_err(|e| SynthError::InvalidNetlist(e.to_string()))?;
-    let mut stats: Vec<(&'static str, usize)> = Vec::new();
+    let mut stats: Vec<PassStat> = Vec::new();
     let mut verifier = PassVerifier::new(opts.verify_each_pass, &nl);
+    // The AIG round-trips rebuild the netlist, so the metadata must follow
+    // it through owned, remappable copies.
+    let mut fsm: Option<FsmNets> = fsm.cloned();
+    let mut annos: Vec<NetGroupValues> = annotations.to_vec();
 
-    // 1. Baseline cleanup: constant folding plus sharing.
-    stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
-    verifier.check(&nl, "const_fold")?;
-    if opts.strash {
-        stats.push(("strash", crate::strash::strash(&mut nl)));
-        verifier.check(&nl, "strash")?;
+    // 1. Baseline cleanup: constant folding plus sharing — one AIG pass,
+    // or the original fixpoint pair.
+    if opts.aig {
+        run_pass(&mut stats, &mut nl, "aig_opt", |nl| {
+            crate::aigopt::aig_optimize(nl, fsm.as_mut(), &mut annos, opts.sat_sweep)
+        });
+        verifier.check(&nl, "aig_opt")?;
+    } else {
+        run_pass(
+            &mut stats,
+            &mut nl,
+            "const_fold",
+            crate::constfold::const_fold,
+        );
+        verifier.check(&nl, "const_fold")?;
+        if opts.strash {
+            run_pass(&mut stats, &mut nl, "strash", crate::strash::strash);
+            verifier.check(&nl, "strash")?;
+        }
     }
 
     // 2. FSM re-encoding (only with metadata, like the real tool).
     if opts.fsm_reencode {
-        if let Some(fsm) = fsm {
-            match crate::fsmreencode::fsm_reencode(&mut nl, fsm, opts) {
+        if let Some(f) = fsm.as_ref() {
+            let t0 = Instant::now();
+            let gates_before = nl.num_gates();
+            match crate::fsmreencode::fsm_reencode(&mut nl, f, opts) {
                 Ok(true) => {
-                    stats.push(("fsm_reencode", 1));
-                    stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+                    stats.push(PassStat {
+                        name: "fsm_reencode",
+                        rewrites: 1,
+                        gates_before,
+                        gates_after: nl.num_gates(),
+                        elapsed: t0.elapsed(),
+                    });
+                    run_pass(
+                        &mut stats,
+                        &mut nl,
+                        "const_fold",
+                        crate::constfold::const_fold,
+                    );
                     verifier.check(&nl, "fsm_reencode")?;
                 }
                 Ok(false) => {}
-                Err(SynthError::FsmExtraction(_)) => stats.push(("fsm_reencode_skipped", 1)),
+                Err(SynthError::FsmExtraction(_)) => stats.push(PassStat {
+                    name: "fsm_reencode_skipped",
+                    rewrites: 1,
+                    gates_before,
+                    gates_after: nl.num_gates(),
+                    elapsed: t0.elapsed(),
+                }),
                 Err(e) => return Err(e),
             }
         }
@@ -88,38 +171,72 @@ pub fn compile_netlist(
     // inputs of their driving cones. Both expose previously flop-separated
     // logic to combinational optimization.
     if opts.retime {
-        let n = crate::retime::retime_forward(&mut nl, opts.collapse_support.max(16))
-            + crate::retime::retime_backward(&mut nl, opts.collapse_support.max(16));
-        stats.push(("retime", n));
-        if n > 0 {
-            stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+        let mut moved = 0;
+        run_pass(&mut stats, &mut nl, "retime", |nl| {
+            moved = crate::retime::retime_forward(nl, opts.collapse_support.max(16))
+                + crate::retime::retime_backward(nl, opts.collapse_support.max(16));
+            moved
+        });
+        if moved > 0 {
+            run_pass(
+                &mut stats,
+                &mut nl,
+                "const_fold",
+                crate::constfold::const_fold,
+            );
         }
         verifier.check(&nl, "retime")?;
     }
 
     // 4. State propagation and folding over annotated groups.
-    if opts.state_propagation && !annotations.is_empty() {
-        let n = crate::stateprop::state_propagate(&mut nl, annotations, opts.max_valueset);
-        stats.push(("state_propagation", n));
-        if n > 0 {
-            stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+    if opts.state_propagation && !annos.is_empty() {
+        let mut folded = 0;
+        run_pass(&mut stats, &mut nl, "state_propagation", |nl| {
+            folded = crate::stateprop::state_propagate(nl, &annos, opts.max_valueset);
+            folded
+        });
+        if folded > 0 {
+            run_pass(
+                &mut stats,
+                &mut nl,
+                "const_fold",
+                crate::constfold::const_fold,
+            );
         }
         verifier.check(&nl, "state_propagation")?;
     }
 
-    // 5. Collapse-and-re-cover resynthesis, then clean up again.
-    stats.push(("resynthesize", crate::resynth::resynthesize(&mut nl, opts)));
-    stats.push(("const_fold", crate::constfold::const_fold(&mut nl)));
+    // 5. Collapse-and-re-cover resynthesis, then clean up again. The
+    // cleanup stays on the flat netlist even in AIG mode: resynthesis
+    // emits the n-ary And/Or structure technology mapping patterns
+    // against, and an AIG round-trip here would re-decompose it to
+    // 2-input form right before mapping.
+    run_pass(&mut stats, &mut nl, "resynthesize", |nl| {
+        crate::resynth::resynthesize(nl, opts)
+    });
+    run_pass(
+        &mut stats,
+        &mut nl,
+        "const_fold",
+        crate::constfold::const_fold,
+    );
     verifier.check(&nl, "resynthesize")?;
     if opts.strash {
-        stats.push(("strash", crate::strash::strash(&mut nl)));
+        run_pass(&mut stats, &mut nl, "strash", crate::strash::strash);
         verifier.check(&nl, "strash")?;
     }
 
-    // 6. Technology mapping.
+    // 6. Technology mapping, then sharing over the *mapped* gates (AOI
+    // conversion can duplicate cells the pre-map passes never saw).
     if opts.techmap {
-        stats.push(("techmap", crate::techmap::techmap(&mut nl)));
+        run_pass(&mut stats, &mut nl, "techmap", |nl| {
+            crate::techmap::techmap(nl)
+        });
         verifier.check(&nl, "techmap")?;
+        if opts.aig && opts.strash {
+            run_pass(&mut stats, &mut nl, "strash_mapped", crate::strash::strash);
+            verifier.check(&nl, "strash_mapped")?;
+        }
     }
     nl.sweep();
     verifier.check(&nl, "sweep")?;
@@ -283,29 +400,78 @@ mod tests {
     /// `verify_each_pass` SAT-checks every pass against its predecessor —
     /// on healthy passes the flow completes and the results are identical
     /// to an unverified run. Covers both the combinational miter (SOP
-    /// module, no flops) and the sequential BMC (table FSM) checkers.
+    /// module, no flops) and the sequential BMC (table FSM) checkers, in
+    /// both the AIG and the original pipelines.
     #[test]
     fn verify_each_pass_accepts_healthy_flows() {
         let lib = Library::vt90();
-        let verified = SynthOptions::default().with_verify_each_pass();
-        assert!(verified.verify_each_pass);
-        // Combinational: a direct SOP module.
-        let tts: Vec<TruthTable> = (0..2).map(|i| random_tt(4, 99 + i)).collect();
-        let covers: Vec<synthir_logic::Cover> = tts
-            .iter()
-            .map(|t| synthir_logic::espresso::minimize_tt(t, None))
-            .collect();
-        let sop = styles::sop_module("sop", 4, &covers);
-        let elab = elaborate(&sop).unwrap();
-        let r = compile(&elab, &lib, &verified).unwrap();
-        let r0 = compile(&elab, &lib, &SynthOptions::default()).unwrap();
-        assert_eq!(r.netlist.num_gates(), r0.netlist.num_gates());
-        // Sequential: a bound table FSM (flops + reset).
-        let words: Vec<u128> = (0..16).map(|m| (m as u128 * 5) & 0x7).collect();
-        let tab = styles::table_module("tab", 4, 3, &words);
-        let elab = elaborate(&tab).unwrap();
-        let r = compile(&elab, &lib, &verified).unwrap();
+        for base in [
+            SynthOptions::default(),
+            SynthOptions::default().without_aig(),
+        ] {
+            let verified = base.clone().with_verify_each_pass();
+            assert!(verified.verify_each_pass);
+            // Combinational: a direct SOP module.
+            let tts: Vec<TruthTable> = (0..2).map(|i| random_tt(4, 99 + i)).collect();
+            let covers: Vec<synthir_logic::Cover> = tts
+                .iter()
+                .map(|t| synthir_logic::espresso::minimize_tt(t, None))
+                .collect();
+            let sop = styles::sop_module("sop", 4, &covers);
+            let elab = elaborate(&sop).unwrap();
+            let r = compile(&elab, &lib, &verified).unwrap();
+            let r0 = compile(&elab, &lib, &base).unwrap();
+            assert_eq!(r.netlist.num_gates(), r0.netlist.num_gates());
+            // Sequential: a bound table FSM (flops + reset).
+            let words: Vec<u128> = (0..16).map(|m| (m as u128 * 5) & 0x7).collect();
+            let tab = styles::table_module("tab", 4, 3, &words);
+            let elab = elaborate(&tab).unwrap();
+            let r = compile(&elab, &lib, &verified).unwrap();
+            assert!(r.netlist.num_gates() > 0);
+        }
+    }
+
+    /// The AIG pipeline with SAT sweeping stays verified too.
+    #[test]
+    fn verify_each_pass_accepts_sat_sweeping() {
+        let lib = Library::vt90();
+        let opts = SynthOptions::default()
+            .with_sat_sweep()
+            .with_verify_each_pass();
+        let words: Vec<u128> = (0..32).map(|m| (m as u128 * 11) & 0xF).collect();
+        let tab = styles::table_module("tab", 5, 4, &words);
+        let r = compile(&elaborate(&tab).unwrap(), &lib, &opts).unwrap();
         assert!(r.netlist.num_gates() > 0);
+        assert!(r.stats.iter().any(|s| s.name == "aig_opt"));
+    }
+
+    /// The AIG pipeline must match the original pipeline functionally and
+    /// never lose area on the flow's own workloads.
+    #[test]
+    fn aig_pipeline_matches_seed_pipeline() {
+        let lib = Library::vt90();
+        let aig_opts = SynthOptions::default();
+        let seed_opts = SynthOptions::default().without_aig();
+        for seed in 0..4u64 {
+            let words: Vec<u128> = (0..32)
+                .map(|m| ((m as u128).wrapping_mul(37 + seed as u128)) & 0x1F)
+                .collect();
+            let tab = styles::table_module("tab", 5, 5, &words);
+            let elab = elaborate(&tab).unwrap();
+            let r_aig = compile(&elab, &lib, &aig_opts).unwrap();
+            let r_seed = compile(&elab, &lib, &seed_opts).unwrap();
+            let mut eopts = synthir_sim::EquivOptions::new();
+            eopts.engine = synthir_sim::EquivEngine::Sat;
+            let res =
+                synthir_sim::check_seq_equiv(&r_aig.netlist, &r_seed.netlist, &eopts).unwrap();
+            assert!(res.is_equivalent(), "seed {seed}");
+            assert!(
+                r_aig.area.total() <= r_seed.area.total() * 1.001,
+                "seed {seed}: aig {:.1} µm² vs seed pipeline {:.1} µm²",
+                r_aig.area.total(),
+                r_seed.area.total()
+            );
+        }
     }
 
     #[test]
@@ -315,6 +481,9 @@ mod tests {
         let tab = styles::table_module("t", 3, 1, &words);
         let r = compile(&elaborate(&tab).unwrap(), &lib, &SynthOptions::default()).unwrap();
         assert!(!r.stats.is_empty());
+        let s = &r.stats[0];
+        assert_eq!(s.name, "aig_opt");
+        assert!(s.gates_before >= s.gates_after);
         assert!(r.timing.critical_delay >= 0.0);
         assert!(r.timing.meets(5.0), "tiny logic must meet 5ns");
     }

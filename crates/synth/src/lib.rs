@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aigopt;
 pub mod conefn;
 pub mod constfold;
 pub mod factor;
@@ -43,7 +44,7 @@ pub mod strash;
 pub mod techmap;
 pub mod timing;
 
-pub use flow::{compile, CompileResult};
+pub use flow::{compile, CompileResult, PassStat};
 pub use options::{FsmEncoding, SynthOptions};
 pub use timing::{sta, TimingReport};
 

@@ -43,6 +43,17 @@ pub struct SynthOptions {
     pub strash: bool,
     /// Run technology mapping (NAND/NOR/AOI conversion).
     pub techmap: bool,
+    /// Use the AIG optimization core for netlist cleanup: constant folding,
+    /// structural hashing, and local rewriting happen in one pass over a
+    /// hash-consed And-Inverter Graph instead of fixpoint loops over the
+    /// flat netlist. Disable to reproduce the original (pre-AIG) pass
+    /// order, e.g. for A/B benchmarking.
+    pub aig: bool,
+    /// Run SAT sweeping inside the AIG cleanup: candidate equivalences
+    /// from random-simulation signatures, proved by the CDCL solver and
+    /// merged on proof. Off by default (it trades compile time for the
+    /// sharing structural methods cannot see). Requires [`SynthOptions::aig`].
+    pub sat_sweep: bool,
     /// Debug option: after every pass, SAT-check the netlist against its
     /// predecessor (combinational miter for pure logic, bounded model check
     /// from reset for sequential designs) and abort the flow if a pass
@@ -63,6 +74,8 @@ impl Default for SynthOptions {
             fsm_enum_limit: 1 << 18,
             strash: true,
             techmap: true,
+            aig: true,
+            sat_sweep: false,
             verify_each_pass: false,
         }
     }
@@ -89,6 +102,19 @@ impl SynthOptions {
     /// Returns options with per-pass SAT verification enabled.
     pub fn with_verify_each_pass(mut self) -> Self {
         self.verify_each_pass = true;
+        self
+    }
+
+    /// Returns options using the original (pre-AIG) pass order: netlist
+    /// `const_fold` + `strash` fixpoint loops instead of the AIG core.
+    pub fn without_aig(mut self) -> Self {
+        self.aig = false;
+        self
+    }
+
+    /// Returns options with SAT sweeping enabled inside the AIG cleanup.
+    pub fn with_sat_sweep(mut self) -> Self {
+        self.sat_sweep = true;
         self
     }
 }

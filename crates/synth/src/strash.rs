@@ -3,52 +3,60 @@
 //! After table collapse and resynthesis, many cones share identical product
 //! terms; merging them models the sharing a synthesis tool extracts and is
 //! required for multi-output tables to approach direct-implementation area.
+//! Pre-techmap cleanup now happens inside the AIG core
+//! ([`crate::aigopt`]); this pass remains for the *mapped* netlist, where
+//! techmap's NAND/NOR/AOI instances can duplicate.
 
 use std::collections::HashMap;
 use synthir_netlist::{GateKind, NetId, Netlist};
 
-/// Runs structural hashing to a fixpoint. Returns the number of merges.
+/// Runs structural hashing. Returns the number of merges.
+///
+/// A single topological sweep suffices: each gate's inputs are first
+/// canonicalized through the merges already recorded, so cascades resolve
+/// without re-sorting or re-hashing the netlist per round (the old
+/// fixpoint loop cloned every gate and re-ran `topological_order` each
+/// iteration). All rewiring is applied in one bulk
+/// [`Netlist::remap_uses`] at the end instead of a netlist-wide scan per
+/// merge.
 pub fn strash(nl: &mut Netlist) -> usize {
-    let mut total = 0;
-    loop {
-        let n = strash_once(nl);
-        total += n;
-        nl.sweep();
-        if n == 0 {
-            break;
-        }
-    }
-    total
-}
-
-fn strash_once(nl: &mut Netlist) -> usize {
     let Ok(order) = synthir_netlist::topo::topological_order(nl) else {
         return 0;
     };
     let mut table: HashMap<(GateKind, Vec<NetId>), NetId> = HashMap::new();
+    // Merged net → canonical net. Canonical nets are never themselves
+    // merged (each key's first gate wins), so one lookup fully resolves.
+    let mut repl: HashMap<NetId, NetId> = HashMap::new();
     let mut merges = 0;
     for gid in order {
-        if !nl.is_live(gid) {
-            continue;
-        }
-        let gate = nl.gate(gid).clone();
+        let gate = nl.gate(gid);
         if gate.kind.is_sequential() {
             // Merging flops is only sound when D, reset kind and init all
             // match; conservative and rarely profitable here — skip.
             continue;
         }
-        let key = (gate.kind, normalize_inputs(gate.kind, &gate.inputs));
+        let kind = gate.kind;
+        let canon: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|n| *repl.get(n).unwrap_or(n))
+            .collect();
+        let key = (kind, normalize_inputs(kind, &canon));
         match table.get(&key) {
-            Some(&existing) if existing != gate.output => {
-                nl.replace_net_uses(gate.output, existing);
-                merges += 1;
+            Some(&existing) => {
+                let out = nl.gate(gid).output;
+                if existing != out {
+                    repl.insert(out, existing);
+                    merges += 1;
+                }
             }
-            Some(_) => {}
             None => {
-                table.insert(key, gate.output);
+                table.insert(key, nl.gate(gid).output);
             }
         }
     }
+    nl.remap_uses(&repl);
+    nl.sweep();
     merges
 }
 
