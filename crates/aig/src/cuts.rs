@@ -1,0 +1,386 @@
+//! K-feasible cut enumeration with priority pruning and per-cut truth
+//! tables.
+//!
+//! A **cut** of an AND node `n` is a set of nodes (the *leaves*) such that
+//! every path from a primary input or latch to `n` passes through a leaf:
+//! the cone between the leaves and `n` computes a single-output function of
+//! the leaf values, and if a library cell realizes that function, the whole
+//! cone collapses into one cell. Cut-based technology mapping enumerates
+//! the `k`-feasible cuts (≤ `k` leaves) of every node bottom-up — the cuts
+//! of `AND(a, b)` are the pairwise merges of the cuts of `a` and `b`, plus
+//! the trivial cut `{n}` — and keeps, per node, a bounded **priority** set
+//! of the most promising ones instead of the exponentially many that exist.
+//!
+//! Each cut carries the truth table of the node's (plain-polarity)
+//! function over its leaves in the dense `u16` encoding of
+//! [`crate::npn`]: bit `m` is the value on minterm `m`, leaf `i`
+//! (ascending node-id order) contributes bit `i` of `m`. Truth tables are
+//! support-reduced: a leaf the function does not actually depend on is
+//! dropped, so a cut's `leaves` are always its exact support.
+//!
+//! Cut tables are **contextually** sound, not free-variable-local: a
+//! merge composes the actual cone functions along real circuit paths, so
+//! a table may bake in facts that hold for every *reachable* leaf
+//! valuation (e.g. a reconvergent sub-cone that is constant in context
+//! reduces away entirely). The divergence from the free-leaf local
+//! function arises through support reduction: once a cut's table drops a
+//! vacuous variable, *later merges* combine that reduced fact with cuts
+//! over different leaf sets, and the combined table need no longer equal
+//! the cone's function over free leaves — concretely, for
+//! `x = XOR(y, a)` with `y = a & b & c`, the sub-cone `!a & y` has the
+//! empty (constant-false) cut, and merging it gives `x` a `{a, y}` cut
+//! with table `!a | y`, not the free-leaf `XNOR(a, y)`; the two differ
+//! only on the unreachable valuation `a=0, y=1`. Replacing a node's cone
+//! by any cell realizing its cut table therefore preserves the circuit's
+//! observable behaviour even where the table differs from the free-leaf
+//! local function — mapping gets reconvergence-driven don't-cares at no
+//! extra cost. (This is also why the test oracle below checks tables on
+//! whole-graph simulations rather than by driving leaves as free
+//! variables.)
+//!
+//! # Examples
+//!
+//! ```
+//! use synthir_aig::{Aig, cuts::enumerate_cuts};
+//!
+//! let mut g = Aig::new("demo");
+//! let a = g.add_input_port("a", 1)[0];
+//! let b = g.add_input_port("b", 1)[0];
+//! let c = g.add_input_port("c", 1)[0];
+//! let ab = g.and(a, b);
+//! let y = g.and(ab, c); // y = a & b & c
+//! let cuts = enumerate_cuts(&g, 4, 8);
+//! // The widest cut of y sees all three inputs with the AND3 function.
+//! let wide = cuts[y.node() as usize]
+//!     .iter()
+//!     .find(|cut| cut.leaves() == [a.node(), b.node(), c.node()])
+//!     .expect("3-leaf cut enumerated");
+//! assert_eq!(wide.tt, 0x80); // minterm 7 only
+//! ```
+
+use crate::graph::{Aig, AigNode};
+use crate::npn::tt_mask;
+
+/// The maximum cut width the dense `u16` truth tables support.
+pub const MAX_K: usize = 4;
+
+/// One cut: up to [`MAX_K`] leaf nodes (ascending id order, exactly the
+/// function's support) plus the truth table of the node's plain-polarity
+/// function over them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cut {
+    leaves: [u32; MAX_K],
+    len: u8,
+    /// Truth table over `leaves()` (dense encoding, low `2^len` bits).
+    pub tt: u16,
+}
+
+impl Cut {
+    /// The leaf nodes, ascending id order.
+    pub fn leaves(&self) -> &[u32] {
+        &self.leaves[..self.len as usize]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the cut has no leaves (the node function is constant).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The trivial cut of a node: the node itself, identity function.
+    pub fn trivial(node: u32) -> Cut {
+        Cut {
+            leaves: [node, 0, 0, 0],
+            len: 1,
+            tt: 0b10,
+        }
+    }
+
+    /// Whether every leaf of `self` is also a leaf of `other`.
+    fn dominates(&self, other: &Cut) -> bool {
+        self.leaves().iter().all(|l| other.leaves().contains(l))
+    }
+}
+
+/// Merges two child cuts under an AND: unions the leaf sets (fails when
+/// more than `k` leaves result), recomputes the truth table, and
+/// support-reduces. `ca`/`cb` are the cuts of the AND's fanin *nodes*;
+/// `na`/`nb` complement the child functions for complemented edges.
+fn merge(ca: &Cut, cb: &Cut, na: bool, nb: bool, k: usize) -> Option<Cut> {
+    // Union of two sorted leaf lists.
+    let mut leaves = [0u32; MAX_K];
+    let (la, lb) = (ca.leaves(), cb.leaves());
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < la.len() || j < lb.len() {
+        let v = match (la.get(i), lb.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!(),
+        };
+        if n == k {
+            return None;
+        }
+        leaves[n] = v;
+        n += 1;
+    }
+    // Expand each child table onto the union, complementing per edge.
+    let expand = |c: &Cut, neg: bool| -> u16 {
+        let mut pos = [0usize; MAX_K];
+        for (ci, leaf) in c.leaves().iter().enumerate() {
+            pos[ci] = leaves[..n].iter().position(|l| l == leaf).expect("subset");
+        }
+        let mut out = 0u16;
+        for m in 0..1u32 << n {
+            let mut cm = 0u32;
+            for (ci, &p) in pos.iter().take(c.len()).enumerate() {
+                cm |= (m >> p & 1) << ci;
+            }
+            let v = (c.tt >> cm) & 1 ^ u16::from(neg);
+            out |= v << m;
+        }
+        out
+    };
+    let tt = expand(ca, na) & expand(cb, nb);
+    Some(support_reduce(&leaves[..n], tt))
+}
+
+/// Drops leaves the function does not depend on and compresses the truth
+/// table accordingly.
+fn support_reduce(leaves: &[u32], tt: u16) -> Cut {
+    let n = leaves.len();
+    let mut kept = [0u32; MAX_K];
+    let mut kn = 0usize;
+    let mut cur = tt & tt_mask(n);
+    for (i, &leaf) in leaves.iter().enumerate() {
+        // The variable under test always sits at position `kn` of the
+        // running table: earlier variables were either kept (positions
+        // below `kn`) or removed outright.
+        let width = kn + (n - i);
+        let pos = cofactor(cur, kn, true, width);
+        let neg = cofactor(cur, kn, false, width);
+        if pos == neg {
+            cur = pos; // vacuous: drop the variable
+        } else {
+            kept[kn] = leaf;
+            kn += 1;
+        }
+    }
+    Cut {
+        leaves: kept,
+        len: kn as u8,
+        tt: cur & tt_mask(kn),
+    }
+}
+
+/// The cofactor of `tt` (over `width` variables) with variable `v` bound
+/// to `val`, expressed over `width - 1` variables (variable `v` removed,
+/// higher variables shifted down).
+fn cofactor(tt: u16, v: usize, val: bool, width: usize) -> u16 {
+    let mut out = 0u16;
+    for m in 0..1u32 << (width - 1) {
+        // Re-insert the bound variable at position v.
+        let low = m & ((1 << v) - 1);
+        let high = (m >> v) << (v + 1);
+        let full = low | high | (u32::from(val) << v);
+        out |= ((tt >> full) & 1) << m;
+    }
+    out
+}
+
+/// Enumerates the `k`-feasible priority cuts of every node (`k ≤ 4`),
+/// keeping at most `max_cuts` non-trivial cuts per node (smallest first)
+/// plus the trivial cut, which is always last. Index `i` of the result
+/// holds node `i`'s cuts; inputs and latches get only their trivial cut,
+/// and the constant node gets a single empty (constant-false) cut.
+///
+/// # Panics
+///
+/// Panics if `k > MAX_K`.
+pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    assert!(k <= MAX_K, "dense truth tables support k ≤ {MAX_K}");
+    let mut all: Vec<Vec<Cut>> = Vec::with_capacity(aig.node_count());
+    for (i, node) in aig.nodes().iter().enumerate() {
+        let cuts = match *node {
+            AigNode::Const0 => vec![Cut {
+                leaves: [0; MAX_K],
+                len: 0,
+                tt: 0,
+            }],
+            AigNode::Input | AigNode::Latch(_) => vec![Cut::trivial(i as u32)],
+            AigNode::And(a, b) => {
+                let mut merged: Vec<Cut> = Vec::new();
+                for ca in &all[a.node() as usize] {
+                    for cb in &all[b.node() as usize] {
+                        let Some(c) = merge(ca, cb, a.is_complemented(), b.is_complemented(), k)
+                        else {
+                            continue;
+                        };
+                        if !merged.contains(&c) {
+                            merged.push(c);
+                        }
+                    }
+                }
+                // Priority pruning: smaller cuts first (they dominate more
+                // and cost less), then drop dominated ones.
+                merged.sort_by_key(|c| c.len);
+                let mut pruned: Vec<Cut> = Vec::new();
+                for c in merged {
+                    if pruned.iter().any(|p| p.dominates(&c)) {
+                        continue;
+                    }
+                    pruned.push(c);
+                    if pruned.len() == max_cuts {
+                        break;
+                    }
+                }
+                pruned.push(Cut::trivial(i as u32));
+                pruned
+            }
+        };
+        all.push(cuts);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AigLit;
+
+    /// Soundness oracle: on real whole-graph simulations, a node's value
+    /// must equal its cut truth table applied to the leaf values — for
+    /// *every* cut. (Cut tables are statements about the node in the
+    /// context of the actual circuit: a merge can bake in globally-sound
+    /// facts — e.g. a sub-cone that is constant under every reachable
+    /// leaf valuation — so driving the leaves as free variables would be
+    /// the wrong oracle.)
+    fn check_cut(aig: &Aig, node: u32, cut: &Cut, seed: u64) {
+        let mut words: Vec<u64> = Vec::new();
+        let mut state = seed | 1;
+        for _ in 0..aig.node_count() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            words.push(state);
+        }
+        let vals = aig.simulate(|n| words[n as usize]);
+        let got = vals[node as usize];
+        let mut want = 0u64;
+        for bit in 0..64u32 {
+            let m = (0..cut.len()).fold(0u32, |acc, i| {
+                acc | (((vals[cut.leaves()[i] as usize] >> bit) & 1) as u32) << i
+            });
+            want |= u64::from(cut.tt >> m & 1) << bit;
+        }
+        assert_eq!(got, want, "node {node} cut {:?}", cut.leaves());
+    }
+
+    #[test]
+    fn base_cut_is_the_fanin_pair() {
+        let mut g = Aig::new("t");
+        let a = g.add_input();
+        let b = g.add_input();
+        let y = g.and(a, !b);
+        let cuts = enumerate_cuts(&g, 4, 8);
+        let cs = &cuts[y.node() as usize];
+        // Fanin-pair cut plus the trivial cut.
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].leaves(), [a.node(), b.node()]);
+        // a & !b over (a=var0, b=var1): minterm {a=1,b=0} = 0b01 → bit 1.
+        assert_eq!(cs[0].tt, 0b0010);
+        assert_eq!(cs[1].leaves(), [y.node()]);
+    }
+
+    #[test]
+    fn cuts_grow_through_the_cone_and_match_simulation() {
+        let mut g = Aig::new("t");
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let d = g.add_input();
+        let ab = g.and(a, b);
+        let cd = g.or(c, d);
+        let y = g.and(ab, cd);
+        let x = g.xor(y, a);
+        let cuts = enumerate_cuts(&g, 4, 8);
+        for node in 0..g.node_count() as u32 {
+            for (ci, cut) in cuts[node as usize].iter().enumerate() {
+                check_cut(&g, node, cut, 0x9E37 + ci as u64);
+            }
+        }
+        // y has the 4-leaf cut {a,b,c,d}: (a&b) & (c|d).
+        let wide = cuts[y.node() as usize]
+            .iter()
+            .find(|cu| cu.len() == 4)
+            .expect("4-leaf cut");
+        assert_eq!(wide.leaves(), [a.node(), b.node(), c.node(), d.node()]);
+        let _ = x;
+    }
+
+    #[test]
+    fn support_reduction_drops_vacuous_leaves() {
+        // f = (a & b) | (a & !b) = a: the b leaf must vanish.
+        let cut = support_reduce(&[3, 7], 0b1010);
+        assert_eq!(cut.leaves(), [3]);
+        assert_eq!(cut.tt, 0b10);
+        // Constant function: all leaves vanish.
+        let c = support_reduce(&[3, 7], 0b1111);
+        assert!(c.is_empty());
+        assert_eq!(c.tt, 1);
+    }
+
+    #[test]
+    fn random_graphs_have_sound_cut_tables() {
+        let mut state = 0xFEED_FACE_CAFE_BEEFu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20 {
+            let mut g = Aig::new("t");
+            let inputs: Vec<AigLit> = (0..4).map(|_| g.add_input()).collect();
+            let mut lits = inputs.clone();
+            for _ in 0..25 {
+                let a = lits[(rng() % lits.len() as u64) as usize];
+                let b = lits[(rng() % lits.len() as u64) as usize];
+                let a = a.with_complement(a.is_complemented() ^ (rng() & 1 != 0));
+                let b = b.with_complement(b.is_complemented() ^ (rng() & 1 != 0));
+                let y = g.and(a, b);
+                if !y.is_constant() {
+                    lits.push(y);
+                }
+            }
+            let cuts = enumerate_cuts(&g, 4, 8);
+            for node in 0..g.node_count() as u32 {
+                for (ci, cut) in cuts[node as usize].iter().enumerate() {
+                    check_cut(&g, node, cut, rng() | ci as u64);
+                }
+            }
+        }
+    }
+}

@@ -24,6 +24,12 @@
 //! * [`satsweep`] — candidate equivalence classes from 64-bit random
 //!   simulation signatures, confirmed by the [`synthir_sat`] CDCL solver
 //!   and merged on proof;
+//! * [`cuts`] — k-feasible priority-cut enumeration with per-cut truth
+//!   tables, the front half of cut-based technology mapping
+//!   (`synthir_synth`'s `cutmap` pass);
+//! * [`npn`] — NPN canonicalization of ≤ 4-variable truth tables, the
+//!   equivalence the mapper matches cut functions against library cells
+//!   under;
 //! * [`optimize`] — the bundled pipeline the synthesis flow calls.
 //!
 //! ## Example
@@ -44,15 +50,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cuts;
 pub mod export;
 pub mod graph;
 pub mod import;
+pub mod npn;
 pub mod rewrite;
 pub mod satsweep;
 
+pub use cuts::{enumerate_cuts, Cut};
 pub use export::{to_netlist, NetlistExport};
 pub use graph::{Aig, AigLit, AigNode, AigPort, FxMap, Latch};
 pub use import::{from_netlist, import_cone, ConeImport, NetLits, NetlistImport};
+pub use npn::{canonicalize, NpnTransform};
 pub use rewrite::{compact, rewrite, Rebuilt};
 pub use satsweep::{sat_sweep, SweepOptions, SweepResult};
 

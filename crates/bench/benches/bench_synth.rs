@@ -1,13 +1,21 @@
 //! End-to-end `compile` benchmark: the AIG optimization pipeline vs the
-//! original (pre-AIG) pass order, on the shipped `benchmarks/` controllers.
+//! original (pre-AIG) pass order, and the rule mapper vs the cut-based
+//! mapper, on the shipped `benchmarks/` controllers.
 //!
 //! Each KISS2 controller is lowered in the table coding style (the paper's
-//! recommended generator output) and compiled twice — once with
-//! `SynthOptions::default()` (AIG core) and once with `.without_aig()`
-//! (the seed pass order: `const_fold`/`strash` fixpoint loops). Medians
-//! and the resulting areas are written to `BENCH_synth.json` at the
-//! workspace root so the compile-time trajectory is tracked across PRs
-//! alongside `BENCH_espresso.json`.
+//! recommended generator output) and compiled three ways:
+//!
+//! * `aig`  — `SynthOptions::default()`: AIG front half + rule mapper;
+//! * `seed` — `.without_aig()`: the seed pass order (`const_fold`/`strash`
+//!   fixpoint loops), the PR 4 A/B baseline;
+//! * `cuts` — `.with_cut_mapper()`: AIG front half + cut-based technology
+//!   mapping (`--mapper cuts`).
+//!
+//! Median wall-clock, final gate count, mapped area, and critical-path
+//! delay for every variant are written to `BENCH_synth.json` at the
+//! workspace root, so both the compile-time trajectory *and* the mapper
+//! area/delay tradeoff are tracked across PRs alongside
+//! `BENCH_espresso.json`.
 //!
 //! Run with `cargo bench --bench bench_synth` (add `-- --quick` for the CI
 //! smoke pass; the JSON is written either way).
@@ -59,67 +67,96 @@ fn median_time(rounds: usize, mut f: impl FnMut()) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// One compile variant's measured row.
+struct Row {
+    ms: f64,
+    gates: usize,
+    area: f64,
+    critical_ns: f64,
+}
+
+fn measure(elab: &Elaborated, lib: &Library, opts: &SynthOptions, rounds: usize) -> Row {
+    let r = compile(elab, lib, opts).unwrap();
+    let t = median_time(rounds, || {
+        std::hint::black_box(compile(elab, lib, opts).unwrap());
+    });
+    Row {
+        ms: t.as_secs_f64() * 1e3,
+        gates: r.netlist.num_gates(),
+        area: r.area.total(),
+        critical_ns: r.timing.critical_delay,
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let quick =
         std::env::args().any(|a| a == "--quick") || std::env::var_os("QUICK_BENCH").is_some();
     let lib = Library::vt90();
-    let aig_opts = SynthOptions::default();
-    let seed_opts = SynthOptions::default().without_aig();
+    let variants: [(&str, SynthOptions); 3] = [
+        ("aig", SynthOptions::default()),
+        ("seed", SynthOptions::default().without_aig()),
+        ("cuts", SynthOptions::default().with_cut_mapper()),
+    ];
     let mut g = c.benchmark_group("bench_synth");
     g.sample_size(if quick { 3 } else { 10 });
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<(String, Vec<(&str, Row)>)> = Vec::new();
     for (name, elab) in controllers() {
-        g.bench_function(format!("{name}/aig"), |b| {
-            b.iter(|| compile(&elab, &lib, &aig_opts).unwrap())
-        });
-        g.bench_function(format!("{name}/seed"), |b| {
-            b.iter(|| compile(&elab, &lib, &seed_opts).unwrap())
-        });
+        for (vname, opts) in &variants {
+            g.bench_function(format!("{name}/{vname}"), |b| {
+                b.iter(|| compile(&elab, &lib, opts).unwrap())
+            });
+        }
         let rounds = if quick { 3 } else { 9 };
-        let r_aig = compile(&elab, &lib, &aig_opts).unwrap();
-        let r_seed = compile(&elab, &lib, &seed_opts).unwrap();
-        let t_aig = median_time(rounds, || {
-            std::hint::black_box(compile(&elab, &lib, &aig_opts).unwrap());
-        });
-        let t_seed = median_time(rounds, || {
-            std::hint::black_box(compile(&elab, &lib, &seed_opts).unwrap());
-        });
-        let speedup = t_seed.as_secs_f64() / t_aig.as_secs_f64();
+        let measured: Vec<(&str, Row)> = variants
+            .iter()
+            .map(|(vname, opts)| (*vname, measure(&elab, &lib, opts, rounds)))
+            .collect();
+        let aig = &measured[0].1;
+        let seed = &measured[1].1;
+        let cuts = &measured[2].1;
         println!(
-            "{name}: aig {:.3} ms ({} gates, {:.1} µm²), seed {:.3} ms ({} gates, {:.1} µm²), speedup {speedup:.2}x",
-            t_aig.as_secs_f64() * 1e3,
-            r_aig.netlist.num_gates(),
-            r_aig.area.total(),
-            t_seed.as_secs_f64() * 1e3,
-            r_seed.netlist.num_gates(),
-            r_seed.area.total(),
+            "{name}: aig {:.3} ms ({} gates, {:.1} µm², {:.3} ns) | seed {:.3} ms ({} gates, \
+             {:.1} µm²) | cuts {:.3} ms ({} gates, {:.1} µm², {:.3} ns) | aig speedup {:.2}x, \
+             cut-map area {:+.1}%",
+            aig.ms,
+            aig.gates,
+            aig.area,
+            aig.critical_ns,
+            seed.ms,
+            seed.gates,
+            seed.area,
+            cuts.ms,
+            cuts.gates,
+            cuts.area,
+            cuts.critical_ns,
+            seed.ms / aig.ms,
+            (cuts.area - aig.area) / aig.area * 100.0,
         );
-        rows.push((
-            name,
-            t_aig,
-            t_seed,
-            speedup,
-            r_aig.netlist.num_gates(),
-            r_seed.netlist.num_gates(),
-            r_aig.area.total(),
-            r_seed.area.total(),
-        ));
+        rows.push((name, measured));
     }
     g.finish();
 
     let mut json = String::from(
-        "{\n  \"benchmark\": \"synth::flow::compile: AIG pipeline vs original (pre-AIG) pass order\",\n  \"unit\": \"ms (median wall-clock)\",\n  \"workloads\": {\n",
+        "{\n  \"benchmark\": \"synth::flow::compile: AIG pipeline vs original (pre-AIG) pass \
+         order, rule mapper (aig) vs cut-based mapper (cuts)\",\n  \"unit\": \"ms (median \
+         wall-clock), um2 (mapped area), ns (critical path)\",\n  \"workloads\": {\n",
     );
-    for (i, (name, t_aig, t_seed, speedup, g_aig, g_seed, a_aig, a_seed)) in rows.iter().enumerate()
-    {
+    for (i, (name, measured)) in rows.iter().enumerate() {
+        let aig = &measured[0].1;
+        let seed = &measured[1].1;
+        json.push_str(&format!("    \"{name}\": {{\n"));
+        for (vname, r) in measured.iter() {
+            // Always a trailing comma: the speedup summary row follows.
+            json.push_str(&format!(
+                "      \"{vname}\": {{\"ms\": {:.3}, \"gates\": {}, \"area_um2\": {:.1}, \
+                 \"critical_ns\": {:.4}}},\n",
+                r.ms, r.gates, r.area, r.critical_ns,
+            ));
+        }
         json.push_str(&format!(
-            "    \"{name}\": {{\"aig_ms\": {:.3}, \"seed_ms\": {:.3}, \"speedup\": {:.2}, \
-             \"aig_gates\": {g_aig}, \"seed_gates\": {g_seed}, \"aig_area_um2\": {a_aig:.1}, \
-             \"seed_area_um2\": {a_seed:.1}}}{}\n",
-            t_aig.as_secs_f64() * 1e3,
-            t_seed.as_secs_f64() * 1e3,
-            speedup,
+            "      \"aig_speedup_vs_seed\": {:.2}\n    }}{}\n",
+            seed.ms / aig.ms,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

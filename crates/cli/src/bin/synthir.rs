@@ -23,35 +23,10 @@ Run `synthir help <command>` for per-command options.
 
 fn dispatch(cmd: &str, raw: &[String]) -> Result<String, CliError> {
     match cmd {
-        "fsm" => fsm::run(&Args::parse(
-            raw,
-            &[
-                "report",
-                "json",
-                "no-synth",
-                "verify-passes",
-                "sat-sweep",
-                "no-aig",
-            ],
-            &["style", "o", "clock"],
-        )?),
-        "pla" => pla::run(&Args::parse(raw, &["stats", "echo"], &["o"])?),
-        "ucode" => ucode::run(&Args::parse(
-            raw,
-            &[
-                "report",
-                "flexible",
-                "register-outputs",
-                "annotate",
-                "disasm",
-            ],
-            &["o", "clock"],
-        )?),
-        "equiv" => equiv::run(&Args::parse(
-            raw,
-            &["synth"],
-            &["engine", "left", "right", "cycles", "depth", "seed", "vcd"],
-        )?),
+        "fsm" => fsm::run(&Args::parse(raw, fsm::FLAGS, fsm::OPTIONS)?),
+        "pla" => pla::run(&Args::parse(raw, pla::FLAGS, pla::OPTIONS)?),
+        "ucode" => ucode::run(&Args::parse(raw, ucode::FLAGS, ucode::OPTIONS)?),
+        "equiv" => equiv::run(&Args::parse(raw, equiv::FLAGS, equiv::OPTIONS)?),
         "help" | "--help" | "-h" => Ok(match raw.first().map(String::as_str) {
             Some("fsm") => fsm::USAGE.to_string(),
             Some("pla") => pla::USAGE.to_string(),

@@ -68,6 +68,12 @@ options:
   --vcd <file>     dump the left design's comparison run as VCD (.kiss2)
 ";
 
+/// Boolean flags `synthir equiv` accepts (each documented in [`USAGE`]).
+pub const FLAGS: &[&str] = &["synth"];
+
+/// Valued options `synthir equiv` accepts (each documented in [`USAGE`]).
+pub const OPTIONS: &[&str] = &["engine", "left", "right", "cycles", "depth", "seed", "vcd"];
+
 /// The verdict line printed on success.
 pub const EQUIVALENT: &str = "EQUIVALENT";
 
@@ -278,8 +284,9 @@ fn run_pla_pair(args: &Args, left_path: &str, right_path: &str, engine: EquivEng
 
 /// Lowers a PLA's ON-set covers (f-type semantics) to a flat two-level
 /// gate network: one `in` bus, one `out` bus, an AND per product term and
-/// an OR per output.
-fn pla_netlist(name: &str, pla: &Pla) -> Netlist {
+/// an OR per output. Public so tests (and other front ends) can reuse the
+/// exact lowering the `equiv` subcommand checks.
+pub fn pla_netlist(name: &str, pla: &Pla) -> Netlist {
     let mut nl = Netlist::new(name);
     let ins = nl.add_input("in", pla.num_inputs);
     let fold = |nl: &mut Netlist, kind: GateKind, nets: &[NetId]| -> NetId {

@@ -12,7 +12,7 @@ use synthir_core::format_conv::from_kiss2;
 use synthir_core::FsmSpec;
 use synthir_netlist::{verilog, Library};
 use synthir_rtl::{elaborate, Module};
-use synthir_synth::{flow::compile, SynthOptions};
+use synthir_synth::{flow::compile, Mapper, SynthOptions};
 
 /// Usage text for `synthir fsm`.
 pub const USAGE: &str = "\
@@ -29,12 +29,29 @@ options:
   --json          print the synthesis result (cells, area, timing, pass
                   statistics) as JSON instead of prose
   --clock <ns>    clock period for the slack line (default 2.0)
+  --mapper <m>    technology mapper: rules (default; greedy peephole
+                  NAND/NOR/AOI rewrites) or cuts (k-feasible cuts on the
+                  AIG, NPN-matched against the cell library, with
+                  depth-oriented and area-recovery cover selection)
   --no-synth      elaborate only; skip the synthesis flow
   --sat-sweep     enable SAT sweeping inside the AIG cleanup pass
   --no-aig        use the original (pre-AIG) pass order
   --verify-passes SAT-check the netlist after every synthesis pass against
                   its predecessor (slow; debug aid)
 ";
+
+/// Boolean flags `synthir fsm` accepts (each documented in [`USAGE`]).
+pub const FLAGS: &[&str] = &[
+    "report",
+    "json",
+    "no-synth",
+    "verify-passes",
+    "sat-sweep",
+    "no-aig",
+];
+
+/// Valued options `synthir fsm` accepts (each documented in [`USAGE`]).
+pub const OPTIONS: &[&str] = &["style", "o", "clock", "mapper"];
 
 /// The FSM coding styles the CLI can lower to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -141,15 +158,22 @@ pub fn run(args: &Args) -> CmdResult {
         if args.flag("no-aig") {
             sopts.aig = false;
         }
+        if let Some(m) = args.option("mapper") {
+            sopts.mapper = Mapper::parse(m).map_err(|bad| {
+                CliError(format!("unknown mapper `{bad}` (expected rules or cuts)"))
+            })?;
+        }
         let r = compile(&elab, &lib, &sopts)?;
         if json {
             out.push_str(&format!(
                 "{{\n  \"design\": \"{}\",\n  \"states\": {},\n  \"reachable_states\": {},\n  \
+                 \"mapper\": \"{}\",\n  \
                  \"gates\": {},\n  \"flops\": {},\n  \"area_um2\": {:.2},\n  \
                  \"area_sequential_um2\": {:.2},\n  \"critical_ns\": {:.4},\n  \"passes\": {}\n}}\n",
                 crate::report::json_escape(module.name()),
                 spec.state_count(),
                 spec.reachable_states().len(),
+                sopts.mapper.name(),
                 r.netlist.num_gates(),
                 r.netlist.flop_count(),
                 r.area.total(),

@@ -23,6 +23,12 @@ options:
   --echo          parse and re-render without minimizing (format check)
 ";
 
+/// Boolean flags `synthir pla` accepts (each documented in [`USAGE`]).
+pub const FLAGS: &[&str] = &["stats", "echo"];
+
+/// Valued options `synthir pla` accepts (each documented in [`USAGE`]).
+pub const OPTIONS: &[&str] = &["o"];
+
 /// Runs the subcommand; returns the text for stdout.
 ///
 /// # Errors

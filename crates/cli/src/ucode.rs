@@ -49,6 +49,18 @@ options:
   --disasm           print the assembled program as a disassembly listing
 ";
 
+/// Boolean flags `synthir ucode` accepts (each documented in [`USAGE`]).
+pub const FLAGS: &[&str] = &[
+    "report",
+    "flexible",
+    "register-outputs",
+    "annotate",
+    "disasm",
+];
+
+/// Valued options `synthir ucode` accepts (each documented in [`USAGE`]).
+pub const OPTIONS: &[&str] = &["o", "clock"];
+
 /// A parsed `.uasm` file: the format, condition names, and program body.
 #[derive(Debug)]
 pub struct UcodeSource {

@@ -204,6 +204,44 @@ impl GateKind {
         }
     }
 
+    /// The dense truth table of a combinational gate over its
+    /// [`GateKind::arity`] pins: bit `m` is the output on minterm `m`,
+    /// where pin `i` contributes bit `i` of `m`. Only the low
+    /// `2^arity` bits are meaningful (all kinds have arity ≤ 4). This is
+    /// the cell-function metadata the cut-based technology mapper builds
+    /// its NPN index from.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use synthir_netlist::GateKind;
+    ///
+    /// assert_eq!(GateKind::And2.truth_table(), 0b1000);
+    /// assert_eq!(GateKind::Nand2.truth_table(), 0b0111);
+    /// assert_eq!(GateKind::Inv.truth_table(), 0b01);
+    /// // Mux2 pins are [sel, d0, d1]: output = sel ? d1 : d0.
+    /// assert_eq!(GateKind::Mux2.truth_table(), 0b11100100);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential gates, which have no combinational function.
+    pub fn truth_table(&self) -> u16 {
+        assert!(
+            !self.is_sequential(),
+            "flops have no combinational truth table"
+        );
+        let n = self.arity();
+        let mut tt = 0u16;
+        for m in 0..1usize << n {
+            let ins: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+            if self.eval(&ins) {
+                tt |= 1 << m;
+            }
+        }
+        tt
+    }
+
     /// The library cell name for this kind.
     pub fn cell_name(&self) -> String {
         match self {
@@ -328,5 +366,16 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn eval_checks_arity() {
         GateKind::And2.eval(&[true]);
+    }
+
+    #[test]
+    fn truth_tables_match_eval() {
+        for kind in GateKind::all_combinational() {
+            let tt = kind.truth_table();
+            for m in 0..1usize << kind.arity() {
+                let ins: Vec<bool> = (0..kind.arity()).map(|i| m >> i & 1 != 0).collect();
+                assert_eq!(tt >> m & 1 != 0, kind.eval(&ins), "{kind:?} minterm {m}");
+            }
+        }
     }
 }

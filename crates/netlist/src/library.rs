@@ -6,6 +6,31 @@
 //! AND/OR, XOR and MUX expensive, flops an order of magnitude larger than
 //! simple gates) so that area ratios — the only quantity the paper's
 //! conclusions rest on — are preserved.
+//!
+//! A [`Library`] is **data, not code**: it holds one [`CellSpec`] row per
+//! cell, and every consumer — the area report, static timing
+//! (`synthir_synth::timing::sta` reads per-cell delays from here, never
+//! from hardcoded defaults), the power estimate, and the cut-based
+//! mapper's NPN index — reads the same metadata table. The `vt90` numbers
+//! (areas in µm², delays in ns):
+//!
+//! | cell | area | delay | | cell | area | delay |
+//! |------|-----:|------:|-|------|-----:|------:|
+//! | `INV`   | 2.1 | 0.022 | | `NAND3` | 3.5 | 0.041 |
+//! | `BUF`   | 2.8 | 0.045 | | `NOR3`  | 3.5 | 0.053 |
+//! | `NAND2` | 2.8 | 0.032 | | `AND3`  | 4.2 | 0.060 |
+//! | `NOR2`  | 2.8 | 0.038 | | `OR3`   | 4.2 | 0.068 |
+//! | `AND2`  | 3.5 | 0.052 | | `NAND4` | 4.2 | 0.050 |
+//! | `OR2`   | 3.5 | 0.058 | | `NOR4`  | 4.2 | 0.066 |
+//! | `XOR2`  | 7.0 | 0.075 | | `AND4`  | 4.9 | 0.068 |
+//! | `XNOR2` | 7.0 | 0.075 | | `OR4`   | 4.9 | 0.078 |
+//! | `MUX2`  | 6.3 | 0.070 | | `AOI21` | 3.5 | 0.045 |
+//! | `OAI21` | 3.5 | 0.047 | | `AOI22` | 4.2 | 0.055 |
+//! | `OAI22` | 4.2 | 0.057 | | `DFF`   | 15.4 | 0.150 |
+//! | `DFFS*` | 19.6 | 0.155 | | `DFFR*` | 18.2 | 0.152 |
+//!
+//! (`TIELO`/`TIEHI` are free; `DFFS*`/`DFFR*` are the sync/async-reset
+//! flop flavours, delay = clock-to-Q.)
 
 use crate::cell::{GateKind, ResetKind};
 
@@ -30,6 +55,24 @@ pub struct CellSpec {
 /// let xor = lib.cell(GateKind::Xor2);
 /// assert!(xor.area > inv.area);
 /// ```
+///
+/// The metadata table is directly iterable — this is what the cut-based
+/// mapper's NPN index and the docs' cell table are generated from:
+///
+/// ```
+/// use synthir_netlist::{GateKind, Library};
+///
+/// let lib = Library::vt90();
+/// for (kind, spec) in lib.combinational_cells() {
+///     assert_eq!(lib.area(*kind), spec.area);
+///     assert_eq!(lib.delay(*kind), spec.delay);
+/// }
+/// // Every combinational kind has exactly one metadata row.
+/// assert_eq!(
+///     lib.combinational_cells().len(),
+///     GateKind::all_combinational().len(),
+/// );
+/// ```
 #[derive(Clone, Debug)]
 pub struct Library {
     name: String,
@@ -37,15 +80,54 @@ pub struct Library {
     pub fanout_delay: f64,
     /// Flop setup time in ns.
     pub setup_time: f64,
+    /// Combinational cell metadata, one row per [`GateKind`].
+    cells: Vec<(GateKind, CellSpec)>,
+    /// Flop metadata, indexed by [`ResetKind`] (`None`, `Sync`, `Async`).
+    flops: [CellSpec; 3],
 }
 
 impl Library {
     /// The default synthetic 90 nm-class library.
     pub fn vt90() -> Self {
+        use GateKind::*;
+        // Areas in µm² for a 90nm-class process (2.8 µm² per minimum gate
+        // equivalent), delays in ns.
+        let spec = |area, delay| CellSpec { area, delay };
+        let cells = vec![
+            (Const0, spec(0.0, 0.0)),
+            (Const1, spec(0.0, 0.0)),
+            (Buf, spec(2.8, 0.045)),
+            (Inv, spec(2.1, 0.022)),
+            (Nand2, spec(2.8, 0.032)),
+            (Nor2, spec(2.8, 0.038)),
+            (And2, spec(3.5, 0.052)),
+            (Or2, spec(3.5, 0.058)),
+            (Xor2, spec(7.0, 0.075)),
+            (Xnor2, spec(7.0, 0.075)),
+            (Nand3, spec(3.5, 0.041)),
+            (Nor3, spec(3.5, 0.053)),
+            (And3, spec(4.2, 0.060)),
+            (Or3, spec(4.2, 0.068)),
+            (Nand4, spec(4.2, 0.050)),
+            (Nor4, spec(4.2, 0.066)),
+            (And4, spec(4.9, 0.068)),
+            (Or4, spec(4.9, 0.078)),
+            (Mux2, spec(6.3, 0.070)),
+            (Aoi21, spec(3.5, 0.045)),
+            (Oai21, spec(3.5, 0.047)),
+            (Aoi22, spec(4.2, 0.055)),
+            (Oai22, spec(4.2, 0.057)),
+        ];
         Library {
             name: "vt90".into(),
             fanout_delay: 0.004,
             setup_time: 0.06,
+            cells,
+            flops: [
+                spec(15.4, 0.150), // ResetKind::None
+                spec(19.6, 0.155), // ResetKind::Sync
+                spec(18.2, 0.152), // ResetKind::Async
+            ],
         }
     }
 
@@ -54,40 +136,37 @@ impl Library {
         &self.name
     }
 
-    /// The area/delay of a gate kind.
+    /// The combinational cell metadata table: one `(kind, spec)` row per
+    /// combinational [`GateKind`]. This is the view the cut-based mapper
+    /// indexes by NPN class, and the source of truth the per-kind
+    /// accessors read.
+    pub fn combinational_cells(&self) -> &[(GateKind, CellSpec)] {
+        &self.cells
+    }
+
+    /// The area/delay of a gate kind, read from the metadata table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no row for a combinational `kind`
+    /// (cannot happen for [`Library::vt90`], which covers every kind).
     pub fn cell(&self, kind: GateKind) -> CellSpec {
-        // Areas in µm² for a 90nm-class process (2.8 µm² per minimum gate
-        // equivalent), delays in ns.
-        let (area, delay) = match kind {
-            GateKind::Const0 | GateKind::Const1 => (0.0, 0.0),
-            GateKind::Buf => (2.8, 0.045),
-            GateKind::Inv => (2.1, 0.022),
-            GateKind::Nand2 => (2.8, 0.032),
-            GateKind::Nor2 => (2.8, 0.038),
-            GateKind::And2 => (3.5, 0.052),
-            GateKind::Or2 => (3.5, 0.058),
-            GateKind::Xor2 => (7.0, 0.075),
-            GateKind::Xnor2 => (7.0, 0.075),
-            GateKind::Nand3 => (3.5, 0.041),
-            GateKind::Nor3 => (3.5, 0.053),
-            GateKind::And3 => (4.2, 0.060),
-            GateKind::Or3 => (4.2, 0.068),
-            GateKind::Nand4 => (4.2, 0.050),
-            GateKind::Nor4 => (4.2, 0.066),
-            GateKind::And4 => (4.9, 0.068),
-            GateKind::Or4 => (4.9, 0.078),
-            GateKind::Mux2 => (6.3, 0.070),
-            GateKind::Aoi21 => (3.5, 0.045),
-            GateKind::Oai21 => (3.5, 0.047),
-            GateKind::Aoi22 => (4.2, 0.055),
-            GateKind::Oai22 => (4.2, 0.057),
-            GateKind::Dff { reset, .. } => match reset {
-                ResetKind::None => (15.4, 0.150),
-                ResetKind::Sync => (19.6, 0.155),
-                ResetKind::Async => (18.2, 0.152),
-            },
-        };
-        CellSpec { area, delay }
+        match kind {
+            GateKind::Dff { reset, .. } => {
+                self.flops[match reset {
+                    ResetKind::None => 0,
+                    ResetKind::Sync => 1,
+                    ResetKind::Async => 2,
+                }]
+            }
+            k => {
+                self.cells
+                    .iter()
+                    .find(|(c, _)| *c == k)
+                    .unwrap_or_else(|| panic!("no library metadata for {k:?}"))
+                    .1
+            }
+        }
     }
 
     /// Area of a gate kind (convenience).
@@ -160,5 +239,20 @@ mod tests {
         }
         assert!(lib.setup_time > 0.0);
         assert!(lib.fanout_delay > 0.0);
+    }
+
+    #[test]
+    fn metadata_table_covers_every_combinational_kind() {
+        let lib = Library::vt90();
+        for k in GateKind::all_combinational() {
+            assert!(
+                lib.combinational_cells().iter().any(|(c, _)| *c == k),
+                "{k:?} missing from the metadata table"
+            );
+        }
+        // And the accessors agree with the table rows.
+        for (k, spec) in lib.combinational_cells() {
+            assert_eq!(lib.cell(*k), *spec);
+        }
     }
 }

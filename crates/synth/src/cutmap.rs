@@ -1,0 +1,993 @@
+//! Cut-based technology mapping on the AIG
+//! (`SynthOptions::mapper = Mapper::Cuts`, CLI `--mapper cuts`).
+//!
+//! Where the rule mapper ([`crate::techmap`]) pattern-matches the flat
+//! netlist locally, this pass maps the design *globally* from its
+//! And-Inverter Graph:
+//!
+//! 1. **Cut enumeration** — every AND node gets a bounded set of
+//!    k-feasible priority cuts (k ≤ 4) with per-cut truth tables
+//!    ([`synthir_aig::cuts`]);
+//! 2. **NPN matching** — each cut function is canonicalized
+//!    ([`synthir_aig::npn`]) and looked up in an NPN-indexed view of the
+//!    [`Library`]'s cell metadata ([`NpnIndex`]); a hit yields the cell
+//!    plus the exact pin permutation/polarities realizing the cut;
+//! 3. **Cover selection** — a depth-oriented first pass (min arrival
+//!    under the library's per-cell delays), then area-flow and
+//!    exact-local-area recovery passes choose one cut per needed node;
+//! 4. **Emission** — the mapped [`Netlist`] is built directly from the
+//!    chosen cuts (ports, flop semantics, and polarity-memoized inverters
+//!    preserved), replacing the export → rule-rewrite detour.
+//!
+//! Because cut truth tables are contextually sound (reconvergent
+//! sub-cones bake in circuit-level don't-cares — see
+//! [`synthir_aig::cuts`]), the mapped netlist is functionally equivalent
+//! to the input by construction; `SynthOptions::verify_each_pass` and the
+//! benchmark cross-proofs check it with the SAT/BDD engines anyway.
+
+use synthir_aig::cuts::{enumerate_cuts, Cut};
+use synthir_aig::npn::{canonicalize, NpnTransform};
+use synthir_aig::{from_netlist, Aig, AigLit, AigNode, FxMap};
+use synthir_netlist::{CellSpec, GateKind, Library, NetId, Netlist, ResetKind};
+
+/// Cut width. The library has no cell wider than 4 data pins, which is
+/// also [`synthir_aig::cuts::MAX_K`].
+const K: usize = 4;
+/// Priority-cut bound per node.
+const MAX_CUTS: usize = 8;
+
+/// An NPN-indexed view of a [`Library`]'s combinational cell metadata:
+/// canonical truth-table class → the cells realizing it, cheapest first.
+///
+/// # Examples
+///
+/// ```
+/// use synthir_netlist::{GateKind, Library};
+/// use synthir_synth::cutmap::NpnIndex;
+///
+/// let idx = NpnIndex::build(&Library::vt90());
+/// // All eight ±(±a · ±b) functions hit the AND2 class; the cheapest
+/// // realization is the NAND2 cell.
+/// let m = idx.matches(0b1000, 2).expect("AND2 class indexed");
+/// assert_eq!(m[0].kind, GateKind::Nand2);
+/// // XOR has its own class.
+/// assert!(idx.matches(0b0110, 2).is_some());
+/// // 3-input XOR matches no single cell.
+/// assert!(idx.matches(0b1001_0110, 3).is_none());
+/// ```
+pub struct NpnIndex {
+    classes: FxMap<(u8, u16), Vec<CellMatch>>,
+}
+
+/// One library cell in an NPN class.
+#[derive(Clone, Copy, Debug)]
+pub struct CellMatch {
+    /// The cell kind.
+    pub kind: GateKind,
+    /// The cell's area/delay metadata row.
+    pub spec: CellSpec,
+    /// Transform mapping the cell's pin function onto the class canon.
+    to_canon: NpnTransform,
+}
+
+impl NpnIndex {
+    /// Builds the index from a library's cell metadata table. Cells with
+    /// 2–4 data pins participate; `Buf`/`Inv` are handled as aliases and
+    /// constants as tie cells, so they are not indexed.
+    pub fn build(lib: &Library) -> NpnIndex {
+        let mut classes: FxMap<(u8, u16), Vec<CellMatch>> = FxMap::default();
+        for (kind, spec) in lib.combinational_cells() {
+            let n = kind.arity();
+            if !(2..=K).contains(&n) {
+                continue;
+            }
+            let (canon, s) = canonicalize(kind.truth_table(), n);
+            classes
+                .entry((n as u8, canon))
+                .or_default()
+                .push(CellMatch {
+                    kind: *kind,
+                    spec: *spec,
+                    to_canon: s,
+                });
+        }
+        for v in classes.values_mut() {
+            v.sort_by(|a, b| {
+                (a.spec.area, a.spec.delay)
+                    .partial_cmp(&(b.spec.area, b.spec.delay))
+                    .expect("finite costs")
+            });
+        }
+        NpnIndex { classes }
+    }
+
+    /// The cells whose NPN class contains the `n`-variable function `tt`
+    /// (cheapest area first), or `None` when no single cell realizes it.
+    pub fn matches(&self, tt: u16, n: usize) -> Option<&[CellMatch]> {
+        let (canon, _) = canonicalize(tt, n);
+        self.classes
+            .get(&(n as u8, canon))
+            .map(|v: &Vec<CellMatch>| v.as_slice())
+    }
+}
+
+/// How a node's chosen cut is realized in cells.
+#[derive(Clone, Copy, Debug)]
+enum Real {
+    /// The node function is constant in context: a tie cell.
+    Constant(bool),
+    /// The node function equals (the complement of) a single leaf: no
+    /// gate, just net sharing (plus a memoized inverter when `neg`).
+    Alias {
+        /// The leaf node aliased to.
+        leaf: u32,
+        /// Whether the node is the leaf's complement.
+        neg: bool,
+    },
+    /// A library cell over the cut's leaves.
+    Cell {
+        kind: GateKind,
+        spec: CellSpec,
+        /// `pins[j]` = (index into the cut's leaves, complemented) for
+        /// pin `j` of the cell.
+        pins: [(u8, bool); K],
+        arity: u8,
+        /// The cell computes the *complement* of the node function.
+        out_neg: bool,
+    },
+}
+
+/// One mapping candidate: a cut plus a realization.
+#[derive(Clone, Copy, Debug)]
+struct Cand {
+    cut: u16,
+    real: Real,
+}
+
+impl Cand {
+    fn area(&self) -> f64 {
+        match self.real {
+            Real::Cell { spec, .. } => spec.area,
+            _ => 0.0,
+        }
+    }
+
+    fn delay(&self) -> f64 {
+        match self.real {
+            Real::Cell { spec, .. } => spec.delay,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The result of mapping an AIG.
+struct Mapped {
+    netlist: Netlist,
+    cells: usize,
+}
+
+/// Per-node use counts of each polarity in a cover.
+#[derive(Clone, Copy, Default)]
+struct Uses {
+    plain: u32,
+    compl: u32,
+}
+
+impl Uses {
+    fn total(self) -> u32 {
+        self.plain + self.compl
+    }
+}
+
+/// The flow-facing entry point: maps `nl` with the cut-based mapper,
+/// replacing it by the netlist emitted from the chosen cuts. Returns the
+/// number of combinational cells emitted — matched cells, polarity
+/// fix-up inverters, and tie cells included (the pass's `rewrites`
+/// statistic).
+///
+/// A netlist whose combinational part is cyclic cannot be imported into
+/// the AIG: `cut_map` then leaves `nl` untouched and returns `0` (the
+/// synthesis flow validates acyclicity before any pass runs, so this
+/// only concerns direct callers — validate first to distinguish "cyclic,
+/// skipped" from "mapped, zero cells emitted").
+pub fn cut_map(nl: &mut Netlist, lib: &Library) -> usize {
+    let Ok(imp) = from_netlist(nl) else {
+        // Cyclic netlists are rejected by `compile` validation up front;
+        // leave the netlist untouched.
+        return 0;
+    };
+    let mapped = map_aig(&imp.aig, lib);
+    *nl = mapped.netlist;
+    mapped.cells
+}
+
+/// Maps an AIG to a netlist of library cells via cut matching and
+/// three-phase cover selection.
+fn map_aig(aig: &Aig, lib: &Library) -> Mapped {
+    let index = NpnIndex::build(lib);
+    let inv = lib.cell(GateKind::Inv);
+    let n_nodes = aig.node_count();
+    let live = aig.live_marks(&[]);
+    let cuts = enumerate_cuts(aig, K, MAX_CUTS);
+    let cands = candidates(aig, &cuts, &index);
+
+    // Structural polarity/fanout estimates seed the first pass.
+    let structural = structural_uses(aig, &live);
+
+    // Pass 1: depth-oriented. Passes 2..: area recovery with real cover
+    // references from the previous pass's extraction.
+    let mut choice = select(aig, &cuts, &cands, &inv, Mode::Depth, &structural, None);
+    for _ in 0..2 {
+        let cover = extract(aig, &cuts, &cands, &choice, &live);
+        choice = select(
+            aig,
+            &cuts,
+            &cands,
+            &inv,
+            Mode::Area,
+            &structural,
+            Some(&cover),
+        );
+    }
+    // Exact-local-area refinement on the final cover.
+    let cover = extract(aig, &cuts, &cands, &choice, &live);
+    exact_local_area(aig, &cuts, &cands, &mut choice, cover, &live, &inv);
+
+    let cover = extract(aig, &cuts, &cands, &choice, &live);
+    emit(aig, &cuts, &cands, &choice, &cover, &live, n_nodes)
+}
+
+/// Builds the candidate realizations of every AND node.
+fn candidates(aig: &Aig, cuts: &[Vec<Cut>], index: &NpnIndex) -> Vec<Vec<Cand>> {
+    let mut canon_memo: FxMap<(u8, u16), (u16, NpnTransform)> = FxMap::default();
+    let mut all: Vec<Vec<Cand>> = Vec::with_capacity(aig.node_count());
+    for (i, node) in aig.nodes().iter().enumerate() {
+        let mut list: Vec<Cand> = Vec::new();
+        if matches!(node, AigNode::And(..)) {
+            for (ci, cut) in cuts[i].iter().enumerate() {
+                if cut.leaves() == [i as u32] {
+                    continue; // the trivial cut cannot implement its own node
+                }
+                let ci16 = ci as u16;
+                match cut.len() {
+                    0 => list.push(Cand {
+                        cut: ci16,
+                        real: Real::Constant(cut.tt & 1 == 1),
+                    }),
+                    1 => list.push(Cand {
+                        cut: ci16,
+                        real: Real::Alias {
+                            leaf: cut.leaves()[0],
+                            neg: cut.tt == 0b01,
+                        },
+                    }),
+                    n => {
+                        let (canon, t) = *canon_memo
+                            .entry((n as u8, cut.tt))
+                            .or_insert_with(|| canonicalize(cut.tt, n));
+                        let Some(matches) = index.classes.get(&(n as u8, canon)) else {
+                            continue;
+                        };
+                        let ti = t.inverse(n);
+                        for m in matches {
+                            // f = (t⁻¹ ∘ s)·g: cut function f in terms of
+                            // the cell function g.
+                            let u = ti.compose(&m.to_canon, n);
+                            let mut pins = [(0u8, false); K];
+                            for v in 0..n {
+                                pins[u.perm[v] as usize] = (v as u8, u.flips >> v & 1 != 0);
+                            }
+                            list.push(Cand {
+                                cut: ci16,
+                                real: Real::Cell {
+                                    kind: m.kind,
+                                    spec: m.spec,
+                                    pins,
+                                    arity: n as u8,
+                                    out_neg: u.negate,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+            debug_assert!(!list.is_empty(), "every AND node has a matchable cut");
+        }
+        all.push(list);
+    }
+    all
+}
+
+/// Structural (AIG-edge) polarity use counts — the seed estimate before
+/// any cover exists.
+fn structural_uses(aig: &Aig, live: &[bool]) -> Vec<Uses> {
+    let mut uses = vec![Uses::default(); aig.node_count()];
+    let mut count = |l: AigLit| {
+        let u = &mut uses[l.node() as usize];
+        if l.is_complemented() {
+            u.compl += 1;
+        } else {
+            u.plain += 1;
+        }
+    };
+    for (i, n) in aig.nodes().iter().enumerate() {
+        if let AigNode::And(a, b) = *n {
+            if live[i] {
+                count(a);
+                count(b);
+            }
+        }
+    }
+    for l in aig.latches() {
+        if live[l.output as usize] {
+            count(l.next);
+            count(l.reset_lit);
+        }
+    }
+    for p in aig.output_ports() {
+        for &l in &p.lits {
+            count(l);
+        }
+    }
+    uses
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Depth,
+    Area,
+}
+
+/// One cover from a choice vector: which nodes are needed, and how often
+/// each polarity of each node is read.
+struct Cover {
+    uses: Vec<Uses>,
+}
+
+/// The leaves a candidate's realization reads, as (leaf, complemented).
+fn cand_leaves(cut: &Cut, cand: &Cand) -> Vec<(u32, bool)> {
+    match cand.real {
+        Real::Constant(_) => Vec::new(),
+        Real::Alias { leaf, neg } => vec![(leaf, neg)],
+        Real::Cell { pins, arity, .. } => (0..arity as usize)
+            .map(|j| {
+                let (li, neg) = pins[j];
+                (cut.leaves()[li as usize], neg)
+            })
+            .collect(),
+    }
+}
+
+/// Selects one candidate per AND node in topological order.
+///
+/// Depth mode minimizes arrival (cell delays plus inverter fix-ups);
+/// area mode minimizes area flow — candidate area divided by the node's
+/// reference count from the previous cover, so shared logic looks cheap
+/// and single-use logic pays full price. Inverter costs are charged when
+/// a pin needs the polarity its leaf does not physically produce (the
+/// producing phase is known for already-chosen leaves in the same pass).
+fn select(
+    aig: &Aig,
+    cuts: &[Vec<Cut>],
+    cands: &[Vec<Cand>],
+    inv: &CellSpec,
+    mode: Mode,
+    structural: &[Uses],
+    prev: Option<&Cover>,
+) -> Vec<usize> {
+    let n_nodes = aig.node_count();
+    let mut choice = vec![0usize; n_nodes];
+    let mut arrival = vec![0.0f64; n_nodes];
+    let mut flow = vec![0.0f64; n_nodes];
+    let mut produced_compl = vec![false; n_nodes];
+    let refs_of = |n: usize| -> f64 {
+        let u = match prev {
+            Some(c) if c.uses[n].total() > 0 => c.uses[n],
+            _ => structural[n],
+        };
+        f64::from(u.total().max(1))
+    };
+    let needs = |n: usize| -> Uses {
+        match prev {
+            Some(c) if c.uses[n].total() > 0 => c.uses[n],
+            _ => structural[n],
+        }
+    };
+    for i in 0..n_nodes {
+        if !matches!(aig.nodes()[i], AigNode::And(..)) {
+            continue;
+        }
+        let mut best: Option<(f64, f64, usize)> = None;
+        for (k, cand) in cands[i].iter().enumerate() {
+            let mut arr = 0.0f64;
+            let mut in_cost = 0.0f64;
+            for (leaf, neg) in cand_leaves(&cuts[i][cand.cut as usize], cand) {
+                let l = leaf as usize;
+                let mismatch = neg != produced_compl[l];
+                arr = arr.max(arrival[l] + if mismatch { inv.delay } else { 0.0 });
+                in_cost += flow[l] + if mismatch { inv.area } else { 0.0 };
+            }
+            arr += cand.delay();
+            // Output-polarity fix-up: consumers that need the phase the
+            // candidate does not physically produce pay one inverter
+            // (aliases produce whatever their leaf's net carries; both
+            // tie-cell polarities are free).
+            let out_pen = match cand.real {
+                Real::Constant(_) => 0.0,
+                _ => {
+                    let produced = match cand.real {
+                        Real::Cell { out_neg, .. } => out_neg,
+                        Real::Alias { leaf, neg } => produced_compl[leaf as usize] ^ neg,
+                        Real::Constant(_) => unreachable!(),
+                    };
+                    let u = needs(i);
+                    let both = u.plain > 0 && u.compl > 0;
+                    let wanted_compl = u.compl > 0 && u.plain == 0;
+                    if both || (wanted_compl != produced && u.total() > 0) {
+                        inv.area
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            let af = (cand.area() + out_pen + in_cost) / refs_of(i);
+            let key = match mode {
+                Mode::Depth => (arr, af),
+                Mode::Area => (af, arr),
+            };
+            if best.is_none_or(|(k0, k1, _)| key < (k0, k1)) {
+                best = Some((key.0, key.1, k));
+            }
+        }
+        let (_, _, k) = best.expect("every AND node has a candidate");
+        choice[i] = k;
+        let cand = &cands[i][k];
+        let leaves = cand_leaves(&cuts[i][cand.cut as usize], cand);
+        arrival[i] = leaves
+            .iter()
+            .map(|&(l, neg)| {
+                arrival[l as usize]
+                    + if neg != produced_compl[l as usize] {
+                        inv.delay
+                    } else {
+                        0.0
+                    }
+            })
+            .fold(0.0, f64::max)
+            + cand.delay();
+        flow[i] =
+            (cand.area() + leaves.iter().map(|&(l, _)| flow[l as usize]).sum::<f64>()) / refs_of(i);
+        produced_compl[i] = match cand.real {
+            Real::Cell { out_neg, .. } => out_neg,
+            Real::Alias { leaf, neg } => produced_compl[leaf as usize] ^ neg,
+            Real::Constant(_) => false,
+        };
+    }
+    choice
+}
+
+/// Extracts the cover of a choice vector: walks the required-node set
+/// from the roots (output ports plus live-latch next/reset cones) and
+/// counts polarity uses, resolving aliases onto their leaves.
+fn extract(
+    aig: &Aig,
+    cuts: &[Vec<Cut>],
+    cands: &[Vec<Cand>],
+    choice: &[usize],
+    live: &[bool],
+) -> Cover {
+    let mut uses = vec![Uses::default(); aig.node_count()];
+    let add = |uses: &mut Vec<Uses>, l: AigLit| {
+        let u = &mut uses[l.node() as usize];
+        if l.is_complemented() {
+            u.compl += 1;
+        } else {
+            u.plain += 1;
+        }
+    };
+    for p in aig.output_ports() {
+        for &l in &p.lits {
+            add(&mut uses, l);
+        }
+    }
+    for lat in aig.latches() {
+        if live[lat.output as usize] {
+            add(&mut uses, lat.next);
+            add(&mut uses, lat.reset_lit);
+        }
+    }
+    // Reverse topological: by the time a node is processed, all its
+    // consumers have recorded their uses.
+    for i in (0..aig.node_count()).rev() {
+        if uses[i].total() == 0 || !matches!(aig.nodes()[i], AigNode::And(..)) {
+            continue;
+        }
+        let cand = &cands[i][choice[i]];
+        match cand.real {
+            Real::Constant(_) => {}
+            Real::Alias { leaf, neg } => {
+                // Reading this node's plain function is reading
+                // leaf ^ neg; forward both phase counts.
+                let (p, c) = (uses[i].plain, uses[i].compl);
+                let u = &mut uses[leaf as usize];
+                if neg {
+                    u.compl += p;
+                    u.plain += c;
+                } else {
+                    u.plain += p;
+                    u.compl += c;
+                }
+            }
+            Real::Cell { .. } => {
+                for (leaf, neg) in cand_leaves(&cuts[i][cand.cut as usize], cand) {
+                    add(&mut uses, AigLit::new(leaf, neg));
+                }
+            }
+        }
+    }
+    Cover { uses }
+}
+
+/// Exact-local-area refinement: for each covered node (topological
+/// order), re-choose the candidate whose *incremental* area — cell area,
+/// polarity fix-up inverters, plus the exact area of leaves not otherwise
+/// referenced — is smallest, maintaining cover reference counts by
+/// recursive ref/deref.
+fn exact_local_area(
+    aig: &Aig,
+    cuts: &[Vec<Cut>],
+    cands: &[Vec<Cand>],
+    choice: &mut [usize],
+    cover: Cover,
+    live: &[bool],
+    inv: &CellSpec,
+) {
+    let is_and = |n: u32| matches!(aig.nodes()[n as usize], AigNode::And(..));
+    // Reference counts in the same convention `ref_cand`/`deref_cand`
+    // maintain: one count per consumer *pin* (an alias is one pin on its
+    // leaf) plus one per root read — NOT `cover.uses` totals, which
+    // forward an alias's whole consumer count onto its leaf and would
+    // leave leaf refs permanently high once consumers are re-chosen.
+    let mut refs: Vec<u32> = vec![0; aig.node_count()];
+    for p in aig.output_ports() {
+        for &l in &p.lits {
+            refs[l.node() as usize] += 1;
+        }
+    }
+    for lat in aig.latches() {
+        if live[lat.output as usize] {
+            refs[lat.next.node() as usize] += 1;
+            refs[lat.reset_lit.node() as usize] += 1;
+        }
+    }
+    for i in (0..aig.node_count()).rev() {
+        if refs[i] > 0 && is_and(i as u32) {
+            let cand = &cands[i][choice[i]];
+            for (leaf, _) in cand_leaves(&cuts[i][cand.cut as usize], cand) {
+                refs[leaf as usize] += 1;
+            }
+        }
+    }
+    // The physically produced polarity of every node under the current
+    // choices (leaves precede their consumers, so entries below `i` are
+    // final by the time node `i` is scored; they are updated on commit).
+    let mut produced_compl = vec![false; aig.node_count()];
+    let produced_of = |produced_compl: &[bool], cand: &Cand| match cand.real {
+        Real::Cell { out_neg, .. } => out_neg,
+        Real::Alias { leaf, neg } => produced_compl[leaf as usize] ^ neg,
+        Real::Constant(_) => false,
+    };
+    for i in 0..aig.node_count() {
+        if is_and(i as u32) {
+            produced_compl[i] = produced_of(&produced_compl, &cands[i][choice[i]]);
+        }
+    }
+    // Inverters needed to fix a candidate's pin polarities and its output
+    // polarity against what the node's consumers read. Conservative (no
+    // sharing assumed), like the selection passes.
+    let inv_fixups = |i: usize, cand: &Cand, produced_compl: &[bool]| -> f64 {
+        let mut pen = 0.0;
+        for (leaf, neg) in cand_leaves(&cuts[i][cand.cut as usize], cand) {
+            if neg != produced_compl[leaf as usize] {
+                pen += inv.area;
+            }
+        }
+        let u = cover.uses[i];
+        // Same produced-phase rule as the selection passes: aliases carry
+        // their leaf's physical polarity, tie cells are free both ways.
+        match cand.real {
+            Real::Constant(_) => {}
+            _ => {
+                let produced = match cand.real {
+                    Real::Cell { out_neg, .. } => out_neg,
+                    Real::Alias { leaf, neg } => produced_compl[leaf as usize] ^ neg,
+                    Real::Constant(_) => unreachable!(),
+                };
+                let both = u.plain > 0 && u.compl > 0;
+                let wanted_compl = u.compl > 0 && u.plain == 0;
+                if both || (wanted_compl != produced && u.total() > 0) {
+                    pen += inv.area;
+                }
+            }
+        }
+        pen
+    };
+
+    /// Increments references of a candidate's leaves, materializing
+    /// newly-needed sub-covers; returns the area added.
+    fn ref_cand(
+        n: usize,
+        cand: &Cand,
+        cuts: &[Vec<Cut>],
+        cands: &[Vec<Cand>],
+        choice: &[usize],
+        refs: &mut [u32],
+        is_and: &dyn Fn(u32) -> bool,
+    ) -> f64 {
+        let mut area = cand.area();
+        for (leaf, _) in cand_leaves(&cuts[n][cand.cut as usize], cand) {
+            if refs[leaf as usize] == 0 && is_and(leaf) {
+                let lc = &cands[leaf as usize][choice[leaf as usize]];
+                area += ref_cand(leaf as usize, lc, cuts, cands, choice, refs, is_and);
+            }
+            refs[leaf as usize] += 1;
+        }
+        area
+    }
+
+    /// The inverse of [`ref_cand`]; returns the area freed.
+    fn deref_cand(
+        n: usize,
+        cand: &Cand,
+        cuts: &[Vec<Cut>],
+        cands: &[Vec<Cand>],
+        choice: &[usize],
+        refs: &mut [u32],
+        is_and: &dyn Fn(u32) -> bool,
+    ) -> f64 {
+        let mut area = cand.area();
+        for (leaf, _) in cand_leaves(&cuts[n][cand.cut as usize], cand) {
+            refs[leaf as usize] -= 1;
+            if refs[leaf as usize] == 0 && is_and(leaf) {
+                let lc = &cands[leaf as usize][choice[leaf as usize]];
+                area += deref_cand(leaf as usize, lc, cuts, cands, choice, refs, is_and);
+            }
+        }
+        area
+    }
+
+    for i in 0..aig.node_count() {
+        if refs[i] == 0 || !is_and(i as u32) {
+            continue;
+        }
+        // Temporarily remove the current choice from the cover…
+        let cur = choice[i];
+        deref_cand(i, &cands[i][cur], cuts, cands, choice, &mut refs, &is_and);
+        // …score every candidate by trial insertion…
+        let mut best = cur;
+        let mut best_area = f64::INFINITY;
+        for (k, cand) in cands[i].iter().enumerate() {
+            let a = ref_cand(i, cand, cuts, cands, choice, &mut refs, &is_and)
+                + inv_fixups(i, cand, &produced_compl);
+            deref_cand(i, cand, cuts, cands, choice, &mut refs, &is_and);
+            if a < best_area {
+                best_area = a;
+                best = k;
+            }
+        }
+        // …and commit the winner.
+        choice[i] = best;
+        ref_cand(i, &cands[i][best], cuts, cands, choice, &mut refs, &is_and);
+        produced_compl[i] = produced_of(&produced_compl, &cands[i][best]);
+    }
+}
+
+/// Emits the mapped netlist from the chosen cover.
+fn emit(
+    aig: &Aig,
+    cuts: &[Vec<Cut>],
+    cands: &[Vec<Cand>],
+    choice: &[usize],
+    cover: &Cover,
+    live: &[bool],
+    n_nodes: usize,
+) -> Mapped {
+    let mut nl = Netlist::new(aig.name());
+    // Net of each node polarity, memoized (inverters created on demand).
+    let mut plain_net: Vec<Option<NetId>> = vec![None; n_nodes];
+    let mut inv_net: Vec<Option<NetId>> = vec![None; n_nodes];
+
+    for p in aig.input_ports() {
+        let nets = nl.add_input(&p.name, p.lits.len());
+        for (&l, &n) in p.lits.iter().zip(&nets) {
+            plain_net[l.node() as usize] = Some(n);
+        }
+    }
+    for lat in aig.latches() {
+        if live[lat.output as usize] {
+            plain_net[lat.output as usize] = Some(nl.add_net());
+        }
+    }
+
+    fn resolve(
+        nl: &mut Netlist,
+        plain_net: &mut [Option<NetId>],
+        inv_net: &mut [Option<NetId>],
+        l: AigLit,
+    ) -> NetId {
+        if let Some(v) = l.as_constant() {
+            return nl.constant(v);
+        }
+        let n = l.node() as usize;
+        let (want, other) = if l.is_complemented() {
+            (&mut inv_net[n], plain_net[n])
+        } else {
+            (&mut plain_net[n], inv_net[n])
+        };
+        if let Some(net) = *want {
+            return net;
+        }
+        let base = other.unwrap_or_else(|| panic!("literal {l:?} has no net in the cover"));
+        let net = nl.add_gate(GateKind::Inv, &[base]);
+        *want = Some(net);
+        net
+    }
+
+    for i in 0..n_nodes {
+        if cover.uses[i].total() == 0 || !matches!(aig.nodes()[i], AigNode::And(..)) {
+            continue;
+        }
+        let cand = &cands[i][choice[i]];
+        match cand.real {
+            Real::Constant(v) => {
+                // Both polarities are free tie cells — pre-populating the
+                // complement keeps `resolve` from building Inv(TIELO).
+                plain_net[i] = Some(nl.constant(v));
+                inv_net[i] = Some(nl.constant(!v));
+            }
+            Real::Alias { leaf, neg } => {
+                // No gate: each polarity of the node IS the matching
+                // polarity of the leaf. Materialize exactly the phases
+                // consumers read (resolving through the leaf's memoized
+                // nets), so no Inv(Inv(leaf)) chains arise.
+                if cover.uses[i].plain > 0 {
+                    let net = resolve(
+                        &mut nl,
+                        &mut plain_net,
+                        &mut inv_net,
+                        AigLit::new(leaf, neg),
+                    );
+                    plain_net[i] = Some(net);
+                }
+                if cover.uses[i].compl > 0 {
+                    let net = resolve(
+                        &mut nl,
+                        &mut plain_net,
+                        &mut inv_net,
+                        AigLit::new(leaf, !neg),
+                    );
+                    inv_net[i] = Some(net);
+                }
+            }
+            Real::Cell {
+                kind,
+                pins,
+                arity,
+                out_neg,
+                ..
+            } => {
+                let cut = &cuts[i][cand.cut as usize];
+                let ins: Vec<NetId> = (0..arity as usize)
+                    .map(|j| {
+                        let (li, neg) = pins[j];
+                        let leaf = cut.leaves()[li as usize];
+                        resolve(
+                            &mut nl,
+                            &mut plain_net,
+                            &mut inv_net,
+                            AigLit::new(leaf, neg),
+                        )
+                    })
+                    .collect();
+                let out = nl.add_gate(kind, &ins);
+                if out_neg {
+                    inv_net[i] = Some(out);
+                } else {
+                    plain_net[i] = Some(out);
+                }
+            }
+        }
+    }
+
+    for lat in aig.latches() {
+        if !live[lat.output as usize] {
+            continue;
+        }
+        let q = plain_net[lat.output as usize].expect("latch net pre-created");
+        let d = resolve(&mut nl, &mut plain_net, &mut inv_net, lat.next);
+        let kind = GateKind::Dff {
+            reset: lat.reset,
+            init: lat.init,
+        };
+        let inputs: Vec<NetId> = match lat.reset {
+            ResetKind::None => vec![d],
+            _ => vec![
+                d,
+                resolve(&mut nl, &mut plain_net, &mut inv_net, lat.reset_lit),
+            ],
+        };
+        nl.attach_gate(kind, &inputs, q)
+            .expect("latch net has no other driver");
+    }
+    for p in aig.output_ports() {
+        let nets: Vec<NetId> = p
+            .lits
+            .iter()
+            .map(|&l| resolve(&mut nl, &mut plain_net, &mut inv_net, l))
+            .collect();
+        nl.add_output(&p.name, &nets);
+    }
+    // Count every combinational cell that actually landed in the
+    // netlist — matched cells, polarity fix-up inverters, tie cells —
+    // so the pass's `rewrites` statistic matches what the area report
+    // will charge for.
+    let cells = nl.gates().filter(|(_, g)| !g.kind.is_sequential()).count();
+    Mapped { netlist: nl, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthir_sim::{check_comb_equiv, EquivOptions};
+
+    fn lib() -> Library {
+        Library::vt90()
+    }
+
+    #[test]
+    fn npn_index_realizations_are_correct() {
+        // For every indexed class member, re-derive a realization for a
+        // random representative of the class and check it pointwise.
+        let index = NpnIndex::build(&lib());
+        for (&(n, canon), matches) in &index.classes {
+            let n = n as usize;
+            for m in matches {
+                // canon = to_canon · cell_tt: evaluate both sides.
+                assert_eq!(
+                    m.to_canon.apply(m.kind.truth_table(), n),
+                    canon,
+                    "{:?} transform is wrong",
+                    m.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maps_simple_patterns_to_single_cells() {
+        // !(a&b | c) is one AOI21 (or an equally-cheap equivalent).
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 1)[0];
+        let b = nl.add_input("b", 1)[0];
+        let c = nl.add_input("c", 1)[0];
+        let ab = nl.add_gate(GateKind::And2, &[a, b]);
+        let o = nl.add_gate(GateKind::Or2, &[ab, c]);
+        let y = nl.add_gate(GateKind::Inv, &[o]);
+        nl.add_output("y", &[y]);
+        let golden = nl.clone();
+        let cells = cut_map(&mut nl, &lib());
+        assert_eq!(cells, 1, "{:?}", nl.gate_histogram());
+        let res = check_comb_equiv(&golden, &nl, &EquivOptions::new()).unwrap();
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn maps_wide_and_trees_to_wide_cells() {
+        let mut nl = Netlist::new("t");
+        let x = nl.add_input("x", 4);
+        let t1 = nl.add_gate(GateKind::And2, &[x[0], x[1]]);
+        let t2 = nl.add_gate(GateKind::And2, &[x[2], x[3]]);
+        let y = nl.add_gate(GateKind::And2, &[t1, t2]);
+        nl.add_output("y", &[y]);
+        let golden = nl.clone();
+        cut_map(&mut nl, &lib());
+        assert_eq!(nl.num_gates(), 1);
+        let g = nl.driver(nl.output_nets()[0]).unwrap();
+        assert_eq!(nl.gate(g).kind, GateKind::And4);
+        let res = check_comb_equiv(&golden, &nl, &EquivOptions::new()).unwrap();
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn xor_survives_as_a_cell() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 1)[0];
+        let b = nl.add_input("b", 1)[0];
+        let y = nl.add_gate(GateKind::Xor2, &[a, b]);
+        nl.add_output("y", &[y]);
+        let golden = nl.clone();
+        cut_map(&mut nl, &lib());
+        assert_eq!(nl.num_gates(), 1);
+        let g = nl.driver(nl.output_nets()[0]).unwrap();
+        assert_eq!(nl.gate(g).kind, GateKind::Xor2);
+        let res = check_comb_equiv(&golden, &nl, &EquivOptions::new()).unwrap();
+        assert!(res.is_equivalent());
+    }
+
+    #[test]
+    fn shared_logic_is_not_duplicated() {
+        // The And2 feeds both an output and more logic: one cell each.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 1)[0];
+        let b = nl.add_input("b", 1)[0];
+        let c = nl.add_input("c", 1)[0];
+        let ab = nl.add_gate(GateKind::And2, &[a, b]);
+        let y = nl.add_gate(GateKind::Or2, &[ab, c]);
+        nl.add_output("ab", &[ab]);
+        nl.add_output("y", &[y]);
+        let golden = nl.clone();
+        cut_map(&mut nl, &lib());
+        let res = check_comb_equiv(&golden, &nl, &EquivOptions::new()).unwrap();
+        assert!(res.is_equivalent());
+        assert!(nl.num_gates() <= 2, "{:?}", nl.gate_histogram());
+    }
+
+    #[test]
+    fn sequential_designs_round_trip() {
+        use synthir_sim::check_seq_equiv;
+        let mut nl = Netlist::new("t");
+        let rst = nl.add_input("rst", 1)[0];
+        let d = nl.add_input("d", 1)[0];
+        let e = nl.add_input("e", 1)[0];
+        let de = nl.add_gate(GateKind::Xor2, &[d, e]);
+        let q = nl.add_gate(
+            GateKind::Dff {
+                reset: ResetKind::Sync,
+                init: true,
+            },
+            &[de, rst],
+        );
+        let y = nl.add_gate(GateKind::Nand2, &[q, e]);
+        nl.add_output("y", &[y]);
+        let golden = nl.clone();
+        cut_map(&mut nl, &lib());
+        assert_eq!(nl.flop_count(), 1);
+        let res = check_seq_equiv(&golden, &nl, &EquivOptions::new()).unwrap();
+        assert!(res.is_equivalent(), "{res:?}");
+    }
+
+    #[test]
+    fn random_netlists_map_equivalently_and_cheaply() {
+        use synthir_netlist::GateKind::*;
+        let lib = lib();
+        let kinds = [And2, Or2, Nand2, Nor2, Xor2, Inv, Mux2, Aoi21];
+        let mut state = 0x5555_AAAA_1234_8765u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..12 {
+            let mut nl = Netlist::new("t");
+            let ins = nl.add_input("x", 5);
+            let mut nets = ins.clone();
+            for _ in 0..30 {
+                let kind = kinds[(rng() % kinds.len() as u64) as usize];
+                let inputs: Vec<NetId> = (0..kind.arity())
+                    .map(|_| nets[(rng() % nets.len() as u64) as usize])
+                    .collect();
+                nets.push(nl.add_gate(kind, &inputs));
+            }
+            let outs: Vec<NetId> = (0..3)
+                .map(|_| nets[(rng() % nets.len() as u64) as usize])
+                .collect();
+            nl.add_output("y", &outs);
+            let golden = nl.clone();
+            cut_map(&mut nl, &lib);
+            nl.validate().unwrap();
+            let res = check_comb_equiv(&golden, &nl, &EquivOptions::new()).unwrap();
+            assert!(res.is_equivalent(), "round {round}: {res:?}");
+        }
+    }
+}

@@ -226,16 +226,31 @@ pub fn compile_netlist(
         verifier.check(&nl, "strash")?;
     }
 
-    // 6. Technology mapping, then sharing over the *mapped* gates (AOI
-    // conversion can duplicate cells the pre-map passes never saw).
+    // 6. Technology mapping. The rule mapper rewrites the flat netlist in
+    // place (then shares over the *mapped* gates — AOI conversion can
+    // duplicate cells the pre-map passes never saw); the cut mapper
+    // re-imports the netlist into the AIG and emits the mapped netlist
+    // directly from its chosen cuts, so no post-map strash is needed
+    // (the AIG is already structurally hashed and cells are emitted
+    // at most once per node).
     if opts.techmap {
-        run_pass(&mut stats, &mut nl, "techmap", |nl| {
-            crate::techmap::techmap(nl)
-        });
-        verifier.check(&nl, "techmap")?;
-        if opts.aig && opts.strash {
-            run_pass(&mut stats, &mut nl, "strash_mapped", crate::strash::strash);
-            verifier.check(&nl, "strash_mapped")?;
+        match opts.mapper {
+            crate::options::Mapper::Rules => {
+                run_pass(&mut stats, &mut nl, "techmap", |nl| {
+                    crate::techmap::techmap(nl)
+                });
+                verifier.check(&nl, "techmap")?;
+                if opts.aig && opts.strash {
+                    run_pass(&mut stats, &mut nl, "strash_mapped", crate::strash::strash);
+                    verifier.check(&nl, "strash_mapped")?;
+                }
+            }
+            crate::options::Mapper::Cuts => {
+                run_pass(&mut stats, &mut nl, "cutmap", |nl| {
+                    crate::cutmap::cut_map(nl, lib)
+                });
+                verifier.check(&nl, "cutmap")?;
+            }
         }
     }
     nl.sweep();

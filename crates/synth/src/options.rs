@@ -13,6 +13,44 @@ pub enum FsmEncoding {
     Keep,
 }
 
+/// Which technology mapper [`crate::flow::compile`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Mapper {
+    /// The greedy peephole rule mapper ([`crate::techmap`]): local
+    /// NAND/NOR/AOI/OAI pattern rewrites on the flat netlist. The
+    /// default, and the A/B baseline the cut mapper is measured against.
+    #[default]
+    Rules,
+    /// The cut-based mapper ([`crate::cutmap`]): k-feasible cut
+    /// enumeration on the AIG, NPN matching against the library's cell
+    /// metadata, and depth/area-flow/exact-local-area cover selection,
+    /// emitting the mapped netlist directly from the chosen cuts.
+    Cuts,
+}
+
+impl Mapper {
+    /// Parses a mapper name (the CLI `--mapper` values).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input as the error value.
+    pub fn parse(s: &str) -> Result<Mapper, String> {
+        match s {
+            "rules" | "rule" => Ok(Mapper::Rules),
+            "cuts" | "cut" => Ok(Mapper::Cuts),
+            other => Err(other.to_string()),
+        }
+    }
+
+    /// The canonical name (`rules` / `cuts`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mapper::Rules => "rules",
+            Mapper::Cuts => "cuts",
+        }
+    }
+}
+
 /// Options controlling [`crate::flow::compile`].
 #[derive(Clone, Debug)]
 pub struct SynthOptions {
@@ -43,6 +81,9 @@ pub struct SynthOptions {
     pub strash: bool,
     /// Run technology mapping (NAND/NOR/AOI conversion).
     pub techmap: bool,
+    /// Which technology mapper to run when `techmap` is on: the rule
+    /// mapper (default) or the cut-based mapper.
+    pub mapper: Mapper,
     /// Use the AIG optimization core for netlist cleanup: constant folding,
     /// structural hashing, and local rewriting happen in one pass over a
     /// hash-consed And-Inverter Graph instead of fixpoint loops over the
@@ -74,6 +115,7 @@ impl Default for SynthOptions {
             fsm_enum_limit: 1 << 18,
             strash: true,
             techmap: true,
+            mapper: Mapper::Rules,
             aig: true,
             sat_sweep: false,
             verify_each_pass: false,
@@ -117,6 +159,19 @@ impl SynthOptions {
         self.sat_sweep = true;
         self
     }
+
+    /// Returns options using a specific technology mapper.
+    pub fn with_mapper(mut self, mapper: Mapper) -> Self {
+        self.mapper = mapper;
+        self
+    }
+
+    /// Returns options using the cut-based technology mapper
+    /// ([`Mapper::Cuts`]).
+    pub fn with_cut_mapper(mut self) -> Self {
+        self.mapper = Mapper::Cuts;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +194,15 @@ mod tests {
             .with_fsm_encoding(FsmEncoding::OneHot);
         assert!(o.retime);
         assert_eq!(o.fsm_encoding, FsmEncoding::OneHot);
+        assert_eq!(o.mapper, Mapper::Rules);
+        assert_eq!(o.with_cut_mapper().mapper, Mapper::Cuts);
+    }
+
+    #[test]
+    fn mapper_names_round_trip() {
+        for m in [Mapper::Rules, Mapper::Cuts] {
+            assert_eq!(Mapper::parse(m.name()), Ok(m));
+        }
+        assert!(Mapper::parse("bogus").is_err());
     }
 }

@@ -4,6 +4,14 @@
 //! identical timing targets"; this module provides the measurement. The
 //! delay model is per-cell pin-to-output delay plus a crude fanout term,
 //! with flop clock-to-Q as launch and setup time as capture margin.
+//!
+//! Every delay comes from the [`Library`]'s per-cell metadata table
+//! (`Library::combinational_cells`, flop rows included) — nothing is
+//! hardcoded here — so mapper choices ([`crate::techmap`] vs
+//! [`crate::cutmap`]) show up honestly in the reported area/delay
+//! tradeoff: a mapper that picks a bigger-but-faster cell pays for it in
+//! area and is credited for it in `critical_delay`, from the same rows
+//! the mappers themselves optimized against.
 
 use synthir_netlist::{topo, Library, NetId, Netlist};
 
